@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Ablations of the architectural choices the paper motivates but does
+ * not sweep, using the same models that regenerate its figures:
+ *
+ *  1. Chunk-based accumulation [51]: HFP8 GEMM error vs chunk size.
+ *  2. Doubled SFU arrays (Section III-B): INT4 inference time with 1
+ *     vs 2 SFU arrays per corelet.
+ *  3. Doubled INT engines (Figure 4(c)): INT4 speedup with 4 vs 8
+ *     MACs per FXU.
+ *  4. First/last-layer FP16 protection: the performance price of the
+ *     accuracy rule.
+ *  5. L1 capacity: DRAM traffic and throughput of the memory-bound
+ *     VGG16 as the per-core L1 grows toward weight residency.
+ */
+
+#include <cstdio>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "func/quantized_ops.hh"
+#include "runtime/session.hh"
+#include "workloads/networks.hh"
+
+using namespace rapid;
+
+namespace {
+
+double
+int4Throughput(const ChipConfig &chip, const Network &net,
+               bool protect_edges = true)
+{
+    PerfModel pm(chip);
+    PrecisionOptions opts;
+    opts.target = Precision::INT4;
+    opts.protect_edge_layers = protect_edges;
+    return pm.evaluate(net, assignPrecision(net, opts), 1)
+        .samplesPerSecond();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation 1: chunk-based accumulation ===\n\n");
+    {
+        // Positive-biased operands over a long K=8192 reduction: the
+        // worst case for a bare FP16 accumulator (systematic
+        // swamping), isolated from operand-quantization error by
+        // running the FP16 executor.
+        Rng rng(31);
+        Tensor a({4, 8192}), b({8192, 4});
+        a.fillGaussian(rng, 0.5, 0.2);
+        b.fillGaussian(rng, 0.5, 0.2);
+        Tensor ref = matmul(a, b);
+        Table t({"Accumulation scheme", "FP16 GEMM rel. L2 error"});
+        auto run = [&](size_t chunk, bool fp32_outer) {
+            ExecConfig cfg;
+            cfg.chunk_size = chunk;
+            cfg.fp32_outer = fp32_outer;
+            return relativeL2(fp16Matmul(a, b, cfg), ref);
+        };
+        t.addRow({"naive FP16 chain",
+                  Table::fmt(run(1 << 20, false), 4)});
+        t.addRow({"chunked 256, FP16 outer",
+                  Table::fmt(run(256, false), 4)});
+        t.addRow({"chunked 64, FP16 outer",
+                  Table::fmt(run(64, false), 4)});
+        t.addRow({"chunked 64, FP32 outer (RaPiD SFU)",
+                  Table::fmt(run(64, true), 4)});
+        t.print();
+        std::printf("(chunking bounds swamping error in long "
+                    "reductions [51])\n");
+    }
+
+    Network resnet = makeResnet50();
+    Network mobilenet = makeMobilenetV1();
+
+    std::printf("\n=== Ablation 2: doubled SFU arrays "
+                "(Section III-B) ===\n\n");
+    {
+        Table t({"Network", "1 SFU array (inf/s)", "2 SFU arrays",
+                 "Benefit"});
+        for (const Network *net : {&resnet, &mobilenet}) {
+            ChipConfig halved = makeInferenceChip();
+            halved.core.corelet.sfu_arrays = 1;
+            double one = int4Throughput(halved, *net);
+            double two = int4Throughput(makeInferenceChip(), *net);
+            t.addRow({net->name, Table::fmt(one, 0),
+                      Table::fmt(two, 0),
+                      Table::fmt(two / one, 2) + "x"});
+        }
+        t.print();
+        std::printf("(aux/quantization-heavy MobileNet justifies the "
+                    "doubling)\n");
+    }
+
+    std::printf("\n=== Ablation 3: doubled INT4 engines "
+                "(Figure 4(c)) ===\n\n");
+    {
+        Table t({"Network", "4 MACs/FXU (inf/s)", "8 MACs/FXU",
+                 "Benefit"});
+        for (const Network *net : {&resnet, &mobilenet}) {
+            ChipConfig halved = makeInferenceChip();
+            halved.core.corelet.mpe.int4_macs_per_fxu = 4;
+            double four = int4Throughput(halved, *net);
+            double eight = int4Throughput(makeInferenceChip(), *net);
+            t.addRow({net->name, Table::fmt(four, 0),
+                      Table::fmt(eight, 0),
+                      Table::fmt(eight / four, 2) + "x"});
+        }
+        t.print();
+    }
+
+    std::printf("\n=== Ablation 4: first/last-layer FP16 protection "
+                "===\n\n");
+    {
+        Table t({"Network", "Protected (inf/s)", "Unprotected",
+                 "Perf cost of accuracy rule"});
+        for (const Network *net : {&resnet, &mobilenet}) {
+            double prot = int4Throughput(makeInferenceChip(), *net,
+                                         true);
+            double raw = int4Throughput(makeInferenceChip(), *net,
+                                        false);
+            t.addRow({net->name, Table::fmt(prot, 0),
+                      Table::fmt(raw, 0),
+                      Table::fmt(100 * (raw - prot) / raw, 1) + "%"});
+        }
+        t.print();
+    }
+
+    std::printf("\n=== Ablation 5: L1 capacity vs weight residency "
+                "(memory-bound VGG16, INT4, batch 1) ===\n\n");
+    {
+        Network vgg = makeVgg16();
+        Table t({"L1 per core", "VGG16 INT4 inf/s",
+                 "Weights resident", "DRAM traffic/inf"});
+        for (unsigned kib : {2048u, 8192u, 16384u, 32768u}) {
+            ChipConfig chip = makeInferenceChip();
+            chip.core.l1_kib = kib;
+            PerfModel pm(chip);
+            PrecisionOptions opts;
+            opts.target = Precision::INT4;
+            ExecutionPlan plan = assignPrecision(vgg, opts);
+            bool resident = pm.weightsFitOnChip(vgg, plan);
+            NetworkPerf perf = pm.evaluate(vgg, plan, 1);
+            t.addRow({Table::fmt(kib / 1024.0, 0) + " MiB",
+                      Table::fmt(perf.samplesPerSecond(), 0),
+                      resident ? "yes" : "no",
+                      Table::fmt(perf.mem_bytes / 1e6, 1) + " MB"});
+        }
+        t.print();
+        std::printf("(the fabricated 2 MiB is sized for activation "
+                    "residency; pinning VGG-class weights would need "
+                    "~20x the area)\n");
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Regenerates the Figure 4(c) MPE pipeline ablation: the cost and
+ * benefit of adding the separate INT pipeline to the FPU-only MPE.
+ * Paper data points: the decoupled INT pipeline adds ~16% MPE area;
+ * the INT4 pipeline burns ~0.3x the FP16 pipeline power, which is
+ * what made *doubling* the INT4/INT2 engines affordable (8 INT4 /
+ * 16 INT2 MACs per FXU).
+ */
+
+#include <cstdio>
+
+#include "arch/config.hh"
+#include "common/table.hh"
+#include "power/characterization.hh"
+
+using namespace rapid;
+
+namespace {
+
+/// Figure 4(c) silicon data points, encoded as model constants.
+constexpr double kIntPipelineAreaOverhead = 0.16;
+constexpr double kInt4PipePowerVsFp16 = 0.30;
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 4(c): MPE mixed-precision ablation ===\n\n");
+
+    MpeConfig mpe;
+    Table t({"MPE variant", "Rel. area", "Pipeline rel. power",
+             "FP16 MACs/cyc", "HFP8 MACs/cyc", "INT4 MACs/cyc",
+             "INT2 MACs/cyc"});
+    t.addRow({"FPU only (baseline)", "1.00", "1.00 (FP16)",
+              Table::fmt(mpe.macsPerCycle(Precision::FP16), 0),
+              Table::fmt(mpe.macsPerCycle(Precision::HFP8), 0), "-",
+              "-"});
+    t.addRow({"FPU + single INT pipe",
+              Table::fmt(1.0 + kIntPipelineAreaOverhead / 2, 2),
+              Table::fmt(kInt4PipePowerVsFp16 / 2, 2) + " (INT4)",
+              Table::fmt(mpe.macsPerCycle(Precision::FP16), 0),
+              Table::fmt(mpe.macsPerCycle(Precision::HFP8), 0),
+              Table::fmt(mpe.macsPerCycle(Precision::INT4) / 2, 0),
+              Table::fmt(mpe.macsPerCycle(Precision::INT2) / 2, 0)});
+    t.addRow({"FPU + doubled INT pipes (RaPiD)",
+              Table::fmt(1.0 + kIntPipelineAreaOverhead, 2),
+              Table::fmt(kInt4PipePowerVsFp16, 2) + " (INT4)",
+              Table::fmt(mpe.macsPerCycle(Precision::FP16), 0),
+              Table::fmt(mpe.macsPerCycle(Precision::HFP8), 0),
+              Table::fmt(mpe.macsPerCycle(Precision::INT4), 0),
+              Table::fmt(mpe.macsPerCycle(Precision::INT2), 0)});
+    t.print();
+
+    // Efficiency consequence at the chip level.
+    SiliconCharacterization si(makeInferenceChip());
+    std::printf("\nChip-level consequence at 1.5 GHz: doubling the "
+                "INT engines for ~%.0f%% area yields %.1fx the FP16 "
+                "peak rate at %.1fx the FP16 peak efficiency "
+                "(%.2f vs %.2f T(FL)OPS/W).\n",
+                100 * kIntPipelineAreaOverhead,
+                si.peakOps(Precision::INT4, 1.5) /
+                    si.peakOps(Precision::FP16, 1.5),
+                si.peakEfficiency(Precision::INT4, 1.5) /
+                    si.peakEfficiency(Precision::FP16, 1.5),
+                si.peakEfficiency(Precision::INT4, 1.5),
+                si.peakEfficiency(Precision::FP16, 1.5));
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Regenerates the Figure 10 chip-spec table: peak throughput and
+ * power efficiency of the 4-core RaPiD chip per precision over the
+ * 1.0-1.6 GHz / 0.55-0.75 V operating range, from the architecture
+ * algebra and the solved silicon characterization.
+ *
+ * Paper values: 8-12.8 TFLOPS (FP16), 16-25.6 (HFP8), 64-102.4 TOPS
+ * (INT4); 1.8-0.98, 3.5-1.9, 16.5-8.9 T(FL)OPS/W respectively.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "power/characterization.hh"
+
+using namespace rapid;
+
+int
+main()
+{
+    std::printf("=== Figure 10: 4-core RaPiD chip specification ===\n");
+    std::printf("Technology 7nm EUV (modelled), 6mm x 6mm, 4 cores, "
+                "2MB L1/core\n\n");
+
+    ChipConfig chip = makeInferenceChip();
+    SiliconCharacterization si(chip);
+
+    Table t({"Freq (GHz)", "Vdd (V)", "FP16 TFLOPS", "FP16 TFLOPS/W",
+             "HFP8 TFLOPS", "HFP8 TFLOPS/W", "INT4 TOPS",
+             "INT4 TOPS/W", "Power FP16 (W)"});
+    for (double f : {1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6}) {
+        t.addRow({Table::fmt(f, 1), Table::fmt(si.voltageAt(f), 3),
+                  Table::fmt(si.peakOps(Precision::FP16, f) / 1e12, 1),
+                  Table::fmt(si.peakEfficiency(Precision::FP16, f), 2),
+                  Table::fmt(si.peakOps(Precision::HFP8, f) / 1e12, 1),
+                  Table::fmt(si.peakEfficiency(Precision::HFP8, f), 2),
+                  Table::fmt(si.peakOps(Precision::INT4, f) / 1e12, 1),
+                  Table::fmt(si.peakEfficiency(Precision::INT4, f), 2),
+                  Table::fmt(si.peakPower(Precision::FP16, f), 2)});
+    }
+    t.print();
+
+    std::printf("\nPaper anchors: FP16 8-12.8 TFLOPS @ 1.8-0.98 "
+                "TFLOPS/W; HFP8 16-25.6 @ 3.5-1.9; INT4 64-102.4 TOPS "
+                "@ 16.5-8.9 TOPS/W.\n");
+    std::printf("INT2 (future work): %.1f TOPS at 1.5 GHz, %.2f "
+                "TOPS/W peak.\n",
+                si.peakOps(Precision::INT2, 1.5) / 1e12,
+                si.peakEfficiency(Precision::INT2, 1.5));
+    return 0;
+}

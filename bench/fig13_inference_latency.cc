@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Regenerates Figure 13: batch-1 inference throughput
+ * (classifications / detections / sequences per second) on the
+ * 4-core RaPiD chip at FP16, FP8 (1,4,3) and INT4, plus the speedup
+ * bars relative to the FP16 baseline.
+ *
+ * Paper bands: FP8 1.2-1.9x (avg 1.55), INT4 1.4-4.2x (avg 2.8);
+ * compute-heavy CNNs gain most, mobile/lean networks least.
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "runtime/session.hh"
+#include "workloads/networks.hh"
+
+using namespace rapid;
+
+int
+main()
+{
+    std::printf("=== Figure 13: batch-1 inference on the 4-core chip "
+                "(1.5 GHz, 200 GB/s DDR) ===\n\n");
+
+    ChipConfig chip = makeInferenceChip();
+    Table t({"Network", "FP16 inf/s", "FP8 inf/s", "INT4 inf/s",
+             "FP8 speedup", "INT4 speedup", "INT4 latency (ms)"});
+    SummaryStat fp8_spd, int4_spd;
+
+    for (const auto &net : allBenchmarks()) {
+        InferenceSession session(chip, net);
+        double sps[3];
+        int i = 0;
+        for (auto p : {Precision::FP16, Precision::HFP8,
+                       Precision::INT4}) {
+            InferenceOptions opts;
+            opts.target = p;
+            sps[i++] = session.run(opts).perf.samplesPerSecond();
+        }
+        double s8 = sps[1] / sps[0];
+        double s4 = sps[2] / sps[0];
+        fp8_spd.add(s8);
+        int4_spd.add(s4);
+        t.addRow({net.name, Table::fmt(sps[0], 1),
+                  Table::fmt(sps[1], 1), Table::fmt(sps[2], 1),
+                  Table::fmt(s8, 2), Table::fmt(s4, 2),
+                  Table::fmt(1000.0 / sps[2], 3)});
+    }
+    t.print();
+
+    std::printf("\nFP8 speedup:  %.2f - %.2f (avg %.2f)   "
+                "[paper: 1.2 - 1.9, avg 1.55]\n",
+                fp8_spd.min(), fp8_spd.max(), fp8_spd.mean());
+    std::printf("INT4 speedup: %.2f - %.2f (avg %.2f)   "
+                "[paper: 1.4 - 4.2, avg 2.8]\n",
+                int4_spd.min(), int4_spd.max(), int4_spd.mean());
+    return 0;
+}

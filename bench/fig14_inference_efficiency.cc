@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates Figure 14: sustained compute efficiency (TOPS/W) for
+ * batch-1 inference at FP8 and INT4, with improvement bars over the
+ * FP16 baseline. Reported at the nominal high-efficiency operating
+ * point (1.0 GHz / 0.55 V), where the chip peaks at 3.5 TFLOPS/W
+ * HFP8 and 16.5 TOPS/W INT4.
+ *
+ * Paper bands: FP8 1.4-4.68 (avg 3.16) TOPS/W and 1.6x vs FP16;
+ * INT4 3-13.5 (avg 7) TOPS/W and 3.6x vs FP16.
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "runtime/session.hh"
+#include "workloads/networks.hh"
+
+using namespace rapid;
+
+int
+main()
+{
+    std::printf("=== Figure 14: sustained TOPS/W on the 4-core chip "
+                "(nominal 1.0 GHz / 0.55 V point) ===\n\n");
+
+    ChipConfig chip = makeInferenceChip();
+    Table t({"Network", "FP16 TOPS/W", "FP8 TOPS/W", "INT4 TOPS/W",
+             "FP8 vs FP16", "INT4 vs FP16", "INT4 power (W)"});
+    SummaryStat e16, e8, e4, r8, r4;
+
+    for (const auto &net : allBenchmarks()) {
+        InferenceSession session(chip, net);
+        double eff[3], pw[3];
+        int i = 0;
+        for (auto p : {Precision::FP16, Precision::HFP8,
+                       Precision::INT4}) {
+            InferenceOptions opts;
+            opts.target = p;
+            opts.power_report_freq_ghz = 1.0;
+            EnergyReport e = session.run(opts).energy;
+            eff[i] = e.tops_per_w;
+            pw[i] = e.avg_power_w;
+            ++i;
+        }
+        e16.add(eff[0]);
+        e8.add(eff[1]);
+        e4.add(eff[2]);
+        r8.add(eff[1] / eff[0]);
+        r4.add(eff[2] / eff[0]);
+        t.addRow({net.name, Table::fmt(eff[0], 2),
+                  Table::fmt(eff[1], 2), Table::fmt(eff[2], 2),
+                  Table::fmt(eff[1] / eff[0], 2),
+                  Table::fmt(eff[2] / eff[0], 2),
+                  Table::fmt(pw[2], 2)});
+    }
+    t.print();
+
+    std::printf("\nFP8 sustained:  %.2f - %.2f (avg %.2f) TOPS/W, "
+                "avg %.2fx vs FP16   [paper: 1.4 - 4.68, avg 3.16, "
+                "1.6x]\n",
+                e8.min(), e8.max(), e8.mean(), r8.mean());
+    std::printf("INT4 sustained: %.2f - %.2f (avg %.2f) TOPS/W, "
+                "avg %.2fx vs FP16   [paper: 3 - 13.5, avg 7, "
+                "3.6x]\n",
+                e4.min(), e4.max(), e4.mean(), r4.mean());
+    return 0;
+}

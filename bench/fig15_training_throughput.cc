@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Regenerates Figure 15: training throughput (inputs per second) at
+ * FP16 vs Hybrid-FP8 on the 768 T(FL)OPS training system of
+ * Figure 11 (4 chips x 32 cores, HBM 400 GB/s, 128 GB/s
+ * chip-to-chip), minibatch 512.
+ *
+ * Paper bands: HFP8 over FP16 speedup 1.1-2x (avg 1.4); sustained
+ * HFP8 throughput 102-588 (avg 203) TFLOPS.
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "runtime/session.hh"
+#include "workloads/networks.hh"
+
+using namespace rapid;
+
+int
+main()
+{
+    SystemConfig sys = makeTrainingSystem(4);
+    std::printf("=== Figure 15: training throughput, 4-chip x 32-core "
+                "system (peak %.0f TFLOPS HFP8), minibatch 512 ===\n\n",
+                sys.peakOpsPerSecond(Precision::HFP8) / 1e12);
+
+    Table t({"Network", "FP16 inputs/s", "HFP8 inputs/s",
+             "HFP8 speedup", "HFP8 sustained TFLOPS", "Comm exposed"});
+    SummaryStat spd, tops;
+    for (const auto &net : allBenchmarks()) {
+        TrainingSession session(sys, net);
+        TrainingPerf f = session.run({Precision::FP16, 512});
+        TrainingPerf h = session.run({Precision::HFP8, 512});
+        double s = f.step_seconds / h.step_seconds;
+        spd.add(s);
+        tops.add(h.sustainedTops());
+        t.addRow({net.name, Table::fmt(f.samplesPerSecond(), 0),
+                  Table::fmt(h.samplesPerSecond(), 0),
+                  Table::fmt(s, 2), Table::fmt(h.sustainedTops(), 1),
+                  Table::fmt(100 * h.comm_seconds / h.step_seconds, 1)
+                      + "%"});
+    }
+    t.print();
+
+    std::printf("\nHFP8 speedup:   %.2f - %.2f (avg %.2f)   "
+                "[paper: 1.1 - 2.0, avg 1.4]\n",
+                spd.min(), spd.max(), spd.mean());
+    std::printf("HFP8 sustained: %.0f - %.0f (avg %.0f) TFLOPS   "
+                "[paper: 102 - 588, avg 203]\n",
+                tops.min(), tops.max(), tops.mean());
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates Figure 16: (a) the silicon-derived frequency-throttle
+ * rate as a function of weight sparsity, and (b) the speedup of
+ * sparsity-aware throttling on pruned FP16 models versus a
+ * sparsity-unaware baseline.
+ *
+ * Paper bands: average layer sparsity 50-80%; speedup 1.1-1.7x
+ * (avg 1.3).
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "runtime/session.hh"
+#include "workloads/networks.hh"
+
+using namespace rapid;
+
+int
+main()
+{
+    ChipConfig chip = makeInferenceChip();
+    PowerModel power(chip, 1.5);
+    ThrottlePlanner planner(power);
+
+    std::printf("=== Figure 16(a): throttle rate vs weight sparsity "
+                "(envelope %.2f W at 1.5 GHz) ===\n\n",
+                planner.envelopeWatts());
+    Table a({"Weight sparsity", "Stall (clock-skip) rate",
+             "Effective freq (GHz)", "Speedup vs dense"});
+    for (double s = 0.0; s <= 0.901; s += 0.1) {
+        double r = planner.stallRate(s);
+        a.addRow({Table::fmt(100 * s, 0) + "%", Table::fmt(r, 3),
+                  Table::fmt(1.5 * (1 - r), 2),
+                  Table::fmt(planner.speedup(s), 2)});
+    }
+    a.print();
+
+    std::printf("\n=== Figure 16(b): pruned-model speedup with "
+                "sparsity-aware throttling (FP16) ===\n\n");
+    Table b({"Network", "Avg weight sparsity", "Baseline inf/s",
+             "Throttled inf/s", "Speedup"});
+    SummaryStat spd;
+    for (auto &[net, avg] : prunedBenchmarks()) {
+        InferenceSession session(chip, net);
+        InferenceOptions base;
+        base.target = Precision::FP16;
+        InferenceOptions thr = base;
+        thr.sparsity_throttling = true;
+        double s0 = session.run(base).perf.samplesPerSecond();
+        double s1 = session.run(thr).perf.samplesPerSecond();
+        spd.add(s1 / s0);
+        b.addRow({net.name, Table::fmt(100 * avg, 0) + "%",
+                  Table::fmt(s0, 1), Table::fmt(s1, 1),
+                  Table::fmt(s1 / s0, 2)});
+    }
+    b.print();
+    std::printf("\nSpeedup: %.2f - %.2f (avg %.2f)   [paper: 1.1 - "
+                "1.7, avg 1.3]\n",
+                spd.min(), spd.max(), spd.mean());
+    return 0;
+}

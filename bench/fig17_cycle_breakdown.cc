@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Figure 17: the breakdown of INT4-inference compute
+ * cycles into Conv/GEMM, Conv/GEMM overheads, quantization, and
+ * auxiliary operations. Percentages are of busy (compute) cycles, as
+ * in the paper; memory-exposed stalls are reported separately.
+ *
+ * Paper averages: Conv/GEMM 50%, overheads 14%, quantization 17%,
+ * auxiliary 19%.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "runtime/session.hh"
+#include "workloads/networks.hh"
+
+using namespace rapid;
+
+int
+main()
+{
+    std::printf("=== Figure 17: INT4 inference compute-cycle "
+                "breakdown (batch 1, 4-core chip) ===\n\n");
+
+    ChipConfig chip = makeInferenceChip();
+    Table t({"Network", "Conv/GEMM", "Conv/GEMM ovh", "Quantization",
+             "Auxiliary", "Mem-exposed (extra)"});
+    double sum[4] = {0, 0, 0, 0};
+    int n = 0;
+    for (const auto &net : allBenchmarks()) {
+        InferenceSession session(chip, net);
+        InferenceOptions opts;
+        opts.target = Precision::INT4;
+        NetworkPerf perf = session.run(opts).perf;
+        const CycleBreakdown &b = perf.breakdown;
+        double busy = b.busy();
+        double fr[4] = {b.conv_gemm / busy, b.overhead / busy,
+                        b.quantization / busy, b.aux / busy};
+        for (int i = 0; i < 4; ++i)
+            sum[i] += fr[i];
+        ++n;
+        t.addRow({net.name, Table::fmt(100 * fr[0], 1) + "%",
+                  Table::fmt(100 * fr[1], 1) + "%",
+                  Table::fmt(100 * fr[2], 1) + "%",
+                  Table::fmt(100 * fr[3], 1) + "%",
+                  Table::fmt(100 * b.mem_stall / busy, 1) + "%"});
+    }
+    t.addRow({"AVERAGE", Table::fmt(100 * sum[0] / n, 1) + "%",
+              Table::fmt(100 * sum[1] / n, 1) + "%",
+              Table::fmt(100 * sum[2] / n, 1) + "%",
+              Table::fmt(100 * sum[3] / n, 1) + "%", "-"});
+    t.print();
+    std::printf("\nPaper averages: Conv/GEMM 50%%, overheads 14%%, "
+                "quantization 17%%, auxiliary 19%%.\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Figure 18: (a) batch-1 INT4 inference speedup as the
+ * chip scales from 1 to 32 cores with *fixed* external memory
+ * bandwidth, and (b) HFP8 training speedup as the system scales from
+ * 1 to 32 chips at 128 GB/s chip-to-chip bandwidth.
+ *
+ * Paper shape: compute-heavy networks (VGG16, ResNet50, YoloV3,
+ * SSD300) keep scaling to 32 cores; auxiliary-dominated or
+ * memory-stalled ones (MobileNetV1) saturate.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hh"
+#include "runtime/session.hh"
+#include "workloads/networks.hh"
+
+using namespace rapid;
+
+int
+main()
+{
+    const std::vector<unsigned> core_counts = {1, 2, 4, 8, 16, 32};
+    const char *nets_a[] = {"vgg16", "resnet50", "yolov3", "ssd300",
+                            "mobilenetv1", "bert", "lstm"};
+
+    std::printf("=== Figure 18(a): INT4 batch-1 inference speedup vs "
+                "cores (external BW fixed at 200 GB/s) ===\n\n");
+    std::vector<std::string> hdr = {"Network"};
+    for (unsigned c : core_counts)
+        hdr.push_back(std::to_string(c) + " cores");
+    Table a(hdr);
+    for (const char *name : nets_a) {
+        Network net = benchmarkByName(name);
+        std::vector<std::string> row = {name};
+        double t1 = 0;
+        for (unsigned c : core_counts) {
+            ChipConfig chip = makeInferenceChip();
+            chip.cores = c; // memory bandwidth intentionally fixed
+            InferenceSession session(chip, net);
+            InferenceOptions opts;
+            opts.target = Precision::INT4;
+            double t = session.run(opts).perf.total_seconds;
+            if (c == 1)
+                t1 = t;
+            row.push_back(Table::fmt(t1 / t, 2) + "x");
+        }
+        a.addRow(row);
+    }
+    a.print();
+
+    std::printf("\n=== Figure 18(b): HFP8 training speedup vs chips "
+                "(32-core chips, 128 GB/s c2c, minibatch 512) ===\n\n");
+    const std::vector<unsigned> chip_counts = {1, 2, 4, 8, 16, 32};
+    std::vector<std::string> hdr_b = {"Network"};
+    for (unsigned c : chip_counts)
+        hdr_b.push_back(std::to_string(c) + " chips");
+    Table b(hdr_b);
+    for (const char *name : {"vgg16", "resnet50", "bert", "lstm",
+                             "speech"}) {
+        Network net = benchmarkByName(name);
+        std::vector<std::string> row = {name};
+        double t1 = 0;
+        for (unsigned c : chip_counts) {
+            TrainingSession session(makeTrainingSystem(c), net);
+            double t = session.run({Precision::HFP8, 512})
+                           .step_seconds;
+            if (c == 1)
+                t1 = t;
+            row.push_back(Table::fmt(t1 / t, 2) + "x");
+        }
+        b.addRow(row);
+    }
+    b.print();
+    return 0;
+}

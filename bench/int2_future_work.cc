@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The paper's stated future work, projected with the same models:
+ * INT2 inference performance and efficiency on the 4-core chip, and
+ * the accuracy price measured with the functional simulator
+ * (Section II-C reports ~2% loss for INT2 on large models; our toy
+ * models are more sensitive).
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "func/trainer.hh"
+#include "runtime/session.hh"
+#include "workloads/networks.hh"
+
+using namespace rapid;
+
+int
+main()
+{
+    std::printf("=== Future work: INT2 inference on the 4-core chip "
+                "===\n\n");
+
+    ChipConfig chip = makeInferenceChip();
+    Table t({"Network", "INT4 inf/s", "INT2 inf/s", "INT2 vs INT4",
+             "INT2 TOPS/W"});
+    SummaryStat gain;
+    for (const auto &net : allBenchmarks()) {
+        InferenceSession session(chip, net);
+        InferenceOptions o4;
+        o4.target = Precision::INT4;
+        o4.power_report_freq_ghz = 1.0;
+        InferenceOptions o2 = o4;
+        o2.target = Precision::INT2;
+        InferenceResult r4 = session.run(o4);
+        InferenceResult r2 = session.run(o2);
+        double g = r2.perf.samplesPerSecond() /
+                   r4.perf.samplesPerSecond();
+        gain.add(g);
+        t.addRow({net.name,
+                  Table::fmt(r4.perf.samplesPerSecond(), 0),
+                  Table::fmt(r2.perf.samplesPerSecond(), 0),
+                  Table::fmt(g, 2) + "x",
+                  Table::fmt(r2.energy.tops_per_w, 2)});
+    }
+    t.print();
+    std::printf("\nINT2 over INT4: %.2f - %.2fx (avg %.2f). The 2x "
+                "peak rate is mostly eaten by quantization/aux "
+                "Amdahl fractions and the L1 write-bandwidth limit "
+                "the paper notes for INT2.\n",
+                gain.min(), gain.max(), gain.mean());
+
+    // Accuracy price at toy scale (Section II-C: ~2% on large nets).
+    Rng rng(77);
+    Dataset all = makeBlobs(rng, 4, 8, 192);
+    Dataset train = all.slice(0, 512);
+    Dataset test = all.slice(512, 256);
+    ParityResult p4 = runInferenceParity(4, train, test, 40, 32);
+    ParityResult p2 = runInferenceParity(2, train, test, 40, 32);
+    std::printf("\nfunctional accuracy (4-class blobs): FP32 %.1f%%, "
+                "INT4 %.1f%%, INT2 %.1f%%\n",
+                100 * p4.baseline_accuracy, 100 * p4.reduced_accuracy,
+                100 * p2.reduced_accuracy);
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the emulation substrate: float
+ * codec encode/decode throughput, FMA datapaths, chunked
+ * accumulation, quantizers, the reduced-precision GEMM executors,
+ * the cycle-level systolic simulator, and the ring interconnect.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "func/quantized_ops.hh"
+#include "interconnect/mni.hh"
+#include "sim/systolic.hh"
+
+namespace rapid {
+namespace {
+
+void
+BM_DlFloat16Quantize(benchmark::State &state)
+{
+    Rng rng(1);
+    auto values = rng.gaussianVector(4096);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dlfloat16().quantize(values[i++ & 4095]));
+    }
+}
+BENCHMARK(BM_DlFloat16Quantize);
+
+void
+BM_Fp8EncodeDecode(benchmark::State &state)
+{
+    FloatFormat fmt = fp8e4m3(4);
+    Rng rng(2);
+    auto values = rng.gaussianVector(4096);
+    size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fmt.quantize(values[i++ & 4095]));
+}
+BENCHMARK(BM_Fp8EncodeDecode);
+
+void
+BM_Hfp8Fma(benchmark::State &state)
+{
+    MpeDatapath dp;
+    Rng rng(3);
+    auto values = rng.gaussianVector(4096);
+    size_t i = 0;
+    float acc = 0.0f;
+    for (auto _ : state) {
+        acc = dp.hfp8Fma(values[i & 4095], Fp8Kind::Forward,
+                         values[(i * 7 + 1) & 4095],
+                         Fp8Kind::Backward, acc);
+        ++i;
+    }
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Hfp8Fma);
+
+void
+BM_ChunkAccumulate(benchmark::State &state)
+{
+    ChunkAccumulator acc(size_t(state.range(0)), true);
+    double term = 0.37;
+    for (auto _ : state)
+        acc.add(term);
+    benchmark::DoNotOptimize(acc.total());
+}
+BENCHMARK(BM_ChunkAccumulate)->Arg(8)->Arg(64)->Arg(256);
+
+void
+BM_SawbConstruct(benchmark::State &state)
+{
+    Rng rng(4);
+    auto weights = rng.gaussianVector(size_t(state.range(0)));
+    for (auto _ : state) {
+        SawbQuantizer q(weights, 4);
+        benchmark::DoNotOptimize(q.alpha());
+    }
+}
+BENCHMARK(BM_SawbConstruct)->Arg(1024)->Arg(16384);
+
+void
+BM_IntMatmul(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(5);
+    Tensor a({n, n}), b({n, n});
+    for (int64_t i = 0; i < a.numel(); ++i)
+        a[i] = float(std::abs(rng.gaussian()));
+    b.fillGaussian(rng, 0.0, 0.4);
+    PactQuantizer act_q(3.0f, 4);
+    SawbQuantizer wt_q(b.storage(), 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(intMatmul(a, act_q, b, wt_q, 4));
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_IntMatmul)->Arg(32)->Arg(64);
+
+void
+BM_Hfp8Matmul(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(6);
+    Tensor a({n, n}), b({n, n});
+    a.fillGaussian(rng, 0.0, 0.5);
+    b.fillGaussian(rng, 0.0, 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            hfp8Matmul(a, Fp8Kind::Forward, b, Fp8Kind::Forward));
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Hfp8Matmul)->Arg(32)->Arg(64);
+
+void
+BM_SystolicGemm(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(7);
+    Tensor a({n, n}), b({n, n});
+    a.fillGaussian(rng, 0.0, 0.5);
+    b.fillGaussian(rng, 0.0, 0.5);
+    SystolicArraySim sim(CoreletConfig{}, Precision::FP16);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.gemm(a, b));
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_SystolicGemm)->Arg(32)->Arg(64);
+
+void
+BM_RingMulticast(benchmark::State &state)
+{
+    for (auto _ : state) {
+        RingConfig cfg;
+        cfg.num_nodes = 5;
+        RingNetwork ring(cfg);
+        ring.send(0, {1, 2, 3}, 128 * 256);
+        ring.drain();
+        benchmark::DoNotOptimize(ring.now());
+    }
+}
+BENCHMARK(BM_RingMulticast);
+
+} // namespace
+} // namespace rapid
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Compile-and-simulate walkthrough of the decoupled access/execute
+ * architecture (Section II-A): the graph compiler lowers one layer
+ * to an MPE instruction program plus a list of tagged MNI transfers,
+ * and the event-driven corelet simulator runs the two decoupled
+ * threads against each other, showing where double buffering hides
+ * the fetch stream and where token stalls expose it.
+ *
+ * Build & run:  ./build/examples/compiled_layer_timeline
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "compiler/codegen.hh"
+#include "sim/corelet_sim.hh"
+
+using namespace rapid;
+
+int
+main()
+{
+    ChipConfig chip = makeInferenceChip();
+    CodeGenerator cg(chip);
+
+    // A ResNet-style conv and an FC layer: one compute-bound, one
+    // fetch-bound at batch 1.
+    Layer conv;
+    conv.type = LayerType::Conv;
+    conv.name = "res3.conv2 (3x3, 256ch, 28x28)";
+    conv.ci = conv.co = 256;
+    conv.h = conv.w = 28;
+    conv.kh = conv.kw = 3;
+    conv.pad_h = conv.pad_w = 1;
+
+    Layer fc;
+    fc.type = LayerType::Gemm;
+    fc.name = "vgg.fc6 (25088 -> 4096), batch 1";
+    fc.gm = 1;
+    fc.gk = 25088;
+    fc.gn = 4096;
+
+    Table t({"Layer", "Precision", "Tiles", "FMMA slots",
+             "Fetch cyc", "Compute cyc", "Makespan", "Token stalls",
+             "Overlap"});
+    for (const Layer *layer : {&conv, &fc}) {
+        for (auto p : {Precision::FP16, Precision::INT4}) {
+            LayerPlan plan;
+            plan.precision = p;
+            LayerProgram prog = cg.generate(*layer, plan, 1);
+
+            // Peek at the generated code for the first layer.
+            if (layer == &conv && p == Precision::INT4) {
+                std::printf("first instructions of the INT4 conv "
+                            "program:\n");
+                for (size_t i = 0;
+                     i < std::min<size_t>(6, prog.mpe_program.size());
+                     ++i)
+                    std::printf("  %2zu: %s\n", i,
+                                prog.mpe_program[i].toString().c_str());
+                std::printf("  ... (%zu instructions, %llu tiles)\n\n",
+                            prog.mpe_program.size(),
+                            (unsigned long long)prog.num_tiles);
+            }
+
+            CoreletSim sim;
+            CoreletRunStats s = sim.run(prog);
+            t.addRow({layer->name, precisionName(p),
+                      std::to_string(s.tiles_loaded),
+                      std::to_string(s.fmma_issued),
+                      std::to_string(s.sequencer_cycles),
+                      std::to_string(s.processor_cycles),
+                      std::to_string(s.total_cycles),
+                      std::to_string(s.stall_cycles),
+                      Table::fmt(100 * s.overlapEfficiency(), 1) +
+                          "%"});
+        }
+    }
+    t.print();
+    std::printf("\nThe conv hides its weight stream behind compute "
+                "(double buffering emerges from the token protocol); "
+                "the batch-1 FC is fetch-bound and the processor "
+                "parks on TokWait -- the same asymmetry Figures 13 "
+                "and 17 show at network scale.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * HFP8 training parity (Section II-B): trains the same MLP on the
+ * two-spirals task at FP32, FP16, and Hybrid-FP8 with bit-accurate
+ * GEMM emulation (FP8 operands -> FP9 conversion -> chunked DLFloat16
+ * accumulation), and shows the resulting accuracies match. Also
+ * demonstrates why chunk-based accumulation [51] matters.
+ *
+ * Build & run:  ./build/examples/hfp8_training
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hh"
+#include "func/trainer.hh"
+#include "precision/chunk_accumulator.hh"
+
+using namespace rapid;
+
+int
+main()
+{
+    // Why chunked accumulation: a naive DLFloat16 accumulator
+    // swamps -- adding 1.0 stops making progress at 1024.
+    std::vector<double> ones(8192, 1.0);
+    float naive = ChunkAccumulator::naiveFp16Sum(ones.data(),
+                                                 ones.size());
+    ChunkAccumulator chunked(64, true);
+    for (double v : ones)
+        chunked.add(v);
+    std::printf("sum of 8192 ones in FP16:  naive = %.0f   chunked "
+                "(chunk=64) = %.0f\n\n",
+                naive, chunked.total());
+
+    // Train the same model at three precisions.
+    Rng rng(2024);
+    Dataset train = makeSpirals(rng, 384);
+    Dataset test = makeSpirals(rng, 192);
+
+    Table t({"GEMM precision", "Test accuracy", "Gap vs FP32"});
+    double fp32_acc = 0;
+    for (auto prec : {TrainPrecision::FP32, TrainPrecision::FP16,
+                      TrainPrecision::HFP8}) {
+        MlpConfig cfg;
+        cfg.dims = {2, 48, 48, 2};
+        cfg.precision = prec;
+        cfg.seed = 7;
+        Mlp model(cfg);
+        model.train(train, 60, 32);
+        double acc = model.evaluate(test);
+        if (prec == TrainPrecision::FP32)
+            fp32_acc = acc;
+        const char *name = prec == TrainPrecision::FP32 ? "FP32"
+                           : prec == TrainPrecision::FP16
+                               ? "FP16 (DLFloat)"
+                               : "Hybrid-FP8";
+        t.addRow({name, Table::fmt(100 * acc, 1) + "%",
+                  Table::fmt(100 * (fp32_acc - acc), 1) + " pp"});
+    }
+    t.print();
+    std::printf("\nHFP8 forward GEMMs use FP8(1,4,3); backward and\n"
+                "weight-gradient GEMMs mix FP8(1,5,2) errors with\n"
+                "FP8(1,4,3) operands, exactly as Figure 3 "
+                "prescribes.\n");
+    return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, regenerate
+# every paper figure, and run the examples, archiving the outputs at
+# the repository root (test_output.txt / bench_output.txt /
+# examples_output.txt). See EXPERIMENTS.md for the paper-vs-measured
+# comparison of what these outputs should contain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+(for b in build/bench/*; do "$b"; done) 2>&1 | tee bench_output.txt
+(for e in build/examples/*; do
+    [ -x "$e" ] && [ -f "$e" ] || continue
+    echo "===== $e"
+    "$e"
+    echo
+ done) 2>&1 | tee examples_output.txt

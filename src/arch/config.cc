@@ -1,0 +1,39 @@
+#include "arch/config.hh"
+
+namespace rapid {
+
+ChipConfig
+makeInferenceChip(double freq_ghz)
+{
+    ChipConfig chip;
+    chip.cores = 4;
+    chip.core_freq_ghz = freq_ghz;
+    chip.ring_freq_ghz = freq_ghz;
+    chip.mem_gbps = 200.0; // external DDR (Section V-A)
+    return chip;
+}
+
+ChipConfig
+makeTrainingChip(double freq_ghz)
+{
+    ChipConfig chip;
+    chip.cores = 32;
+    chip.core_freq_ghz = freq_ghz;
+    chip.ring_freq_ghz = freq_ghz;
+    chip.mem_gbps = 400.0; // HBM (Section V-A)
+    // 64 MB distributed L1 across 32 cores.
+    chip.core.l1_kib = 2048;
+    return chip;
+}
+
+SystemConfig
+makeTrainingSystem(unsigned num_chips)
+{
+    SystemConfig sys;
+    sys.chip = makeTrainingChip();
+    sys.num_chips = num_chips;
+    sys.chip_to_chip_gbps = 128.0;
+    return sys;
+}
+
+} // namespace rapid

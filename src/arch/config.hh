@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Parameterized description of the RaPiD hardware hierarchy
+ * (Sections III and IV): MPE -> corelet -> core -> chip -> system.
+ * The default values describe the fabricated 4-core 7nm chip; the
+ * scaled 32-core training chip and multi-chip systems are expressed by
+ * changing the counts (Section IV-A).
+ */
+
+#ifndef RAPID_ARCH_CONFIG_HH
+#define RAPID_ARCH_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "precision/precision.hh"
+
+namespace rapid {
+
+/** One Mixed-Precision Processing Element (Figure 4). */
+struct MpeConfig
+{
+    unsigned fpu_simd_lanes = 8; ///< 8-way SIMD FPU (FP16/HFP8)
+    unsigned fxu_simd_lanes = 8; ///< 8-way SIMD FXU (INT4/INT2)
+    /// INT4 MAC engines per FXU lane after the power-driven doubling
+    /// (Figure 4(c)): 8 INT4 (16 INT2) engines per FXU.
+    unsigned int4_macs_per_fxu = 8;
+    unsigned lrf_bytes = 4096; ///< local register file capacity
+
+    /** MAC operations per cycle at @p p (1 MAC = 2 ops). */
+    double
+    macsPerCycle(Precision p) const
+    {
+        switch (p) {
+          case Precision::FP16:
+            return fpu_simd_lanes;
+          case Precision::HFP8:
+            return fpu_simd_lanes * 2.0; // sub-SIMD partition
+          case Precision::INT4:
+            return double(fxu_simd_lanes) * int4_macs_per_fxu;
+          case Precision::INT2:
+            return double(fxu_simd_lanes) * int4_macs_per_fxu * 2.0;
+          case Precision::FP32:
+            return 0.0; // FP32 runs on the SFU only
+        }
+        return 0.0;
+    }
+};
+
+/**
+ * A corelet: an 8x8 MPE array, doubled SFU arrays, and an L0
+ * scratchpad (Section III-D).
+ */
+struct CoreletConfig
+{
+    unsigned mpe_rows = 8;
+    unsigned mpe_cols = 8;
+    MpeConfig mpe;
+    /// SFU arrays were doubled to balance ultra-low-precision
+    /// Conv/GEMM time against FP16 auxiliary time (Section III-B).
+    unsigned sfu_arrays = 2;
+    unsigned sfus_per_array = 8;
+    unsigned sfu_simd_lanes = 8;
+    unsigned l0_kib = 64;
+    unsigned l0_bw_bytes_per_cycle = 64;
+
+    unsigned numMpes() const { return mpe_rows * mpe_cols; }
+
+    /** MAC ops/cycle for the whole MPE array at @p p. */
+    double
+    mpeArrayMacsPerCycle(Precision p) const
+    {
+        return numMpes() * mpe.macsPerCycle(p);
+    }
+
+    /** SFU elementwise lanes (FP16 ops/cycle rate). */
+    double
+    sfuLanes() const
+    {
+        return double(sfu_arrays) * sfus_per_array * sfu_simd_lanes;
+    }
+};
+
+/** An AI core: 2 corelets sharing a 2 MiB L1 (Figure 7). */
+struct CoreConfig
+{
+    unsigned corelets = 2;
+    CoreletConfig corelet;
+    unsigned l1_kib = 2048;
+    /// Independent load/store bandwidth between L1 and each corelet.
+    unsigned l1_bw_bytes_per_cycle = 128;
+
+    double
+    macsPerCycle(Precision p) const
+    {
+        return corelets * corelet.mpeArrayMacsPerCycle(p);
+    }
+
+    double
+    sfuLanes() const
+    {
+        return corelets * corelet.sfuLanes();
+    }
+};
+
+/** A RaPiD chip: cores on a bi-directional ring (Figure 9). */
+struct ChipConfig
+{
+    unsigned cores = 4;
+    CoreConfig core;
+    double core_freq_ghz = 1.5;
+    double ring_freq_ghz = 1.5; ///< separate PLL, asynchronous domain
+    /// Ring bandwidth per direction (Section III-E).
+    unsigned ring_bw_bytes_per_cycle = 128;
+    /// External memory bandwidth (DDR for inference, HBM for the
+    /// scaled training chip).
+    double mem_gbps = 200.0;
+
+    /** Peak MAC ops/second of the chip at @p p (2 ops per MAC). */
+    double
+    peakOpsPerSecond(Precision p) const
+    {
+        return 2.0 * cores * core.macsPerCycle(p) * ghz(core_freq_ghz);
+    }
+
+    /** Total ring bandwidth in bytes/second (both directions). */
+    double
+    ringBytesPerSecond() const
+    {
+        return 2.0 * ring_bw_bytes_per_cycle * ghz(ring_freq_ghz);
+    }
+
+    double memBytesPerSecond() const { return mem_gbps * kGiga; }
+};
+
+/** A (possibly multi-chip) RaPiD system (Section IV-A). */
+struct SystemConfig
+{
+    ChipConfig chip;
+    unsigned num_chips = 1;
+    double chip_to_chip_gbps = 128.0;
+
+    double
+    peakOpsPerSecond(Precision p) const
+    {
+        return num_chips * chip.peakOpsPerSecond(p);
+    }
+
+    double c2cBytesPerSecond() const { return chip_to_chip_gbps * kGiga; }
+};
+
+/** The fabricated 4-core inference chip with 200 GB/s DDR. */
+ChipConfig makeInferenceChip(double freq_ghz = 1.5);
+
+/** The scaled 32-core training chip with 400 GB/s HBM (Fig 11). */
+ChipConfig makeTrainingChip(double freq_ghz = 1.5);
+
+/** The 4-chip x 32-core, 128 GB/s chip-to-chip training system. */
+SystemConfig makeTrainingSystem(unsigned num_chips = 4);
+
+} // namespace rapid
+
+#endif // RAPID_ARCH_CONFIG_HH

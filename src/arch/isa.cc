@@ -1,0 +1,178 @@
+#include "arch/isa.hh"
+
+#include <sstream>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace rapid {
+
+namespace {
+
+// Bit layout of the 64-bit instruction word.
+constexpr unsigned kOpShift = 0, kOpBits = 4;
+constexpr unsigned kPrecShift = 4, kPrecBits = 3;
+constexpr unsigned kAFmtShift = 7, kAFmtBits = 1;
+constexpr unsigned kBFmtShift = 8, kBFmtBits = 1;
+constexpr unsigned kASelShift = 9, kASelBits = 2;
+constexpr unsigned kBSelShift = 11, kBSelBits = 2;
+constexpr unsigned kDstShift = 13, kDstBits = 5;
+constexpr unsigned kSrcShift = 18, kSrcBits = 5;
+constexpr unsigned kImmShift = 23, kImmBits = 16;
+
+unsigned
+precCode(Precision p)
+{
+    switch (p) {
+      case Precision::FP32: return 0;
+      case Precision::FP16: return 1;
+      case Precision::HFP8: return 2;
+      case Precision::INT4: return 3;
+      case Precision::INT2: return 4;
+    }
+    return 1;
+}
+
+Precision
+precFromCode(unsigned code)
+{
+    switch (code) {
+      case 0: return Precision::FP32;
+      case 1: return Precision::FP16;
+      case 2: return Precision::HFP8;
+      case 3: return Precision::INT4;
+      case 4: return Precision::INT2;
+      default: rapid_panic("bad precision code ", code);
+    }
+}
+
+} // namespace
+
+uint64_t
+MpeInstruction::encode() const
+{
+    uint64_t w = 0;
+    w = insertBits(w, kOpShift, kOpBits, uint64_t(op));
+    w = insertBits(w, kPrecShift, kPrecBits, uint64_t(precCode(prec)));
+    w = insertBits(w, kAFmtShift, kAFmtBits, uint64_t(a_fmt));
+    w = insertBits(w, kBFmtShift, kBFmtBits, uint64_t(b_fmt));
+    w = insertBits(w, kASelShift, kASelBits, uint64_t(a_sel));
+    w = insertBits(w, kBSelShift, kBSelBits, uint64_t(b_sel));
+    w = insertBits(w, kDstShift, kDstBits, uint64_t(dst_reg));
+    w = insertBits(w, kSrcShift, kSrcBits, uint64_t(src_reg));
+    w = insertBits(w, kImmShift, kImmBits, uint64_t(imm));
+    return w;
+}
+
+MpeInstruction
+MpeInstruction::decode(uint64_t word)
+{
+    MpeInstruction inst;
+    inst.op = Opcode(bits(word, kOpShift, kOpBits));
+    inst.prec = precFromCode(unsigned(bits(word, kPrecShift, kPrecBits)));
+    inst.a_fmt = Fp8Kind(bits(word, kAFmtShift, kAFmtBits));
+    inst.b_fmt = Fp8Kind(bits(word, kBFmtShift, kBFmtBits));
+    inst.a_sel = OperandSel(bits(word, kASelShift, kASelBits));
+    inst.b_sel = OperandSel(bits(word, kBSelShift, kBSelBits));
+    inst.dst_reg = uint8_t(bits(word, kDstShift, kDstBits));
+    inst.src_reg = uint8_t(bits(word, kSrcShift, kSrcBits));
+    inst.imm = uint16_t(bits(word, kImmShift, kImmBits));
+    return inst;
+}
+
+namespace {
+
+const char *
+selName(OperandSel s)
+{
+    switch (s) {
+      case OperandSel::West: return "W";
+      case OperandSel::North: return "N";
+      case OperandSel::Lrf: return "LRF";
+      case OperandSel::Zero: return "0";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+MpeInstruction::toString() const
+{
+    std::ostringstream oss;
+    switch (op) {
+      case Opcode::Nop:
+        return "nop";
+      case Opcode::Halt:
+        return "halt";
+      case Opcode::Fmma:
+        oss << "fmma." << precisionName(prec) << " r" << int(dst_reg)
+            << ", " << selName(a_sel) << ", " << selName(b_sel);
+        if (b_sel == OperandSel::Lrf)
+            oss << "[r" << int(src_reg) << "]";
+        return oss.str();
+      case Opcode::LrfLoad:
+        oss << "lrf.load r" << int(dst_reg);
+        return oss.str();
+      case Opcode::MovSouth:
+        oss << "mov.south r" << int(src_reg);
+        return oss.str();
+      case Opcode::SetBias:
+        oss << "set.bias " << imm;
+        return oss.str();
+      case Opcode::SetPrec:
+        oss << "set.prec " << precisionName(prec);
+        return oss.str();
+      case Opcode::TokWait:
+        oss << "tok.wait " << imm;
+        return oss.str();
+      case Opcode::TokPost:
+        oss << "tok.post " << imm;
+        return oss.str();
+    }
+    return "?";
+}
+
+MpeInstruction
+makeFmma(Precision prec, OperandSel a_sel, OperandSel b_sel,
+         uint8_t dst_reg, uint8_t src_reg, Fp8Kind a_fmt, Fp8Kind b_fmt)
+{
+    MpeInstruction inst;
+    inst.op = Opcode::Fmma;
+    inst.prec = prec;
+    inst.a_sel = a_sel;
+    inst.b_sel = b_sel;
+    inst.dst_reg = dst_reg;
+    inst.src_reg = src_reg;
+    inst.a_fmt = a_fmt;
+    inst.b_fmt = b_fmt;
+    return inst;
+}
+
+MpeInstruction
+makeLrfLoad(uint8_t dst_reg)
+{
+    MpeInstruction inst;
+    inst.op = Opcode::LrfLoad;
+    inst.dst_reg = dst_reg;
+    return inst;
+}
+
+MpeInstruction
+makeMovSouth(uint8_t src_reg)
+{
+    MpeInstruction inst;
+    inst.op = Opcode::MovSouth;
+    inst.src_reg = src_reg;
+    return inst;
+}
+
+MpeInstruction
+makeHalt()
+{
+    MpeInstruction inst;
+    inst.op = Opcode::Halt;
+    return inst;
+}
+
+} // namespace rapid

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The MPE instruction set (Figure 4(b)). Data-processing programs are
+ * sequences of these instructions, executed systolically by every PE
+ * of a row. Within a program the operand precision stays fixed and is
+ * configured through SetPrec/SetBias, letting the hardware determine
+ * data-gating widths (Section III-A.2).
+ *
+ * Instructions encode to a 64-bit word; the encoding is exercised by
+ * the cycle-level corelet simulator (src/sim) and round-trip tested.
+ */
+
+#ifndef RAPID_ARCH_ISA_HH
+#define RAPID_ARCH_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "precision/mpe_datapath.hh"
+#include "precision/precision.hh"
+
+namespace rapid {
+
+/** MPE opcodes. */
+enum class Opcode : uint8_t
+{
+    Nop = 0,
+    Fmma,     ///< fused multiply-multiply-add on the SIMD datapath
+    LrfLoad,  ///< load LRF register from the north input link
+    MovSouth, ///< forward accumulator to the south output link
+    SetBias,  ///< program the FP8 (1,4,3) exponent bias (imm)
+    SetPrec,  ///< select the pipeline precision for this program
+    TokWait,  ///< block until the token counter (imm) is posted
+    TokPost,  ///< post a synchronization token (imm)
+    Halt,     ///< end of program
+};
+
+/** Where an FMMA operand comes from. */
+enum class OperandSel : uint8_t
+{
+    West = 0, ///< streamed along the row from L0
+    North,    ///< streamed down the column from L1
+    Lrf,      ///< held stationary in the local register file
+    Zero,     ///< constant zero (pipeline bubble)
+};
+
+/** A decoded MPE instruction. */
+struct MpeInstruction
+{
+    Opcode op = Opcode::Nop;
+    Precision prec = Precision::FP16;
+    Fp8Kind a_fmt = Fp8Kind::Forward; ///< FP8 flavour of operand A
+    Fp8Kind b_fmt = Fp8Kind::Forward; ///< FP8 flavour of operand B
+    OperandSel a_sel = OperandSel::West;
+    OperandSel b_sel = OperandSel::Lrf;
+    uint8_t dst_reg = 0; ///< accumulator / LRF destination (0..31)
+    uint8_t src_reg = 0; ///< LRF source register (0..31)
+    uint16_t imm = 0;    ///< bias value, token id, or repeat count
+
+    /** Pack into the 64-bit instruction word. */
+    uint64_t encode() const;
+
+    /** Unpack from a 64-bit instruction word. */
+    static MpeInstruction decode(uint64_t word);
+
+    /** Disassembly for traces, e.g. "fmma.hfp8 r3, W, r1". */
+    std::string toString() const;
+
+    bool operator==(const MpeInstruction &o) const = default;
+};
+
+/** Short helpers used by program generators. */
+MpeInstruction makeFmma(Precision prec, OperandSel a_sel,
+                        OperandSel b_sel, uint8_t dst_reg,
+                        uint8_t src_reg, Fp8Kind a_fmt = Fp8Kind::Forward,
+                        Fp8Kind b_fmt = Fp8Kind::Forward);
+MpeInstruction makeLrfLoad(uint8_t dst_reg);
+MpeInstruction makeMovSouth(uint8_t src_reg);
+MpeInstruction makeHalt();
+
+} // namespace rapid
+
+#endif // RAPID_ARCH_ISA_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the precision-emulation layer.
+ */
+
+#ifndef RAPID_COMMON_BITFIELD_HH
+#define RAPID_COMMON_BITFIELD_HH
+
+#include <cstdint>
+#include <type_traits>
+
+namespace rapid {
+
+/** Extract bits [first, first+count) of @p value. */
+template <typename T>
+constexpr T
+bits(T value, unsigned first, unsigned count)
+{
+    static_assert(std::is_unsigned_v<T>);
+    if (count >= sizeof(T) * 8)
+        return value >> first;
+    return (value >> first) & ((T(1) << count) - 1);
+}
+
+/** A mask with bits [0, count) set. */
+template <typename T = uint64_t>
+constexpr T
+mask(unsigned count)
+{
+    static_assert(std::is_unsigned_v<T>);
+    if (count >= sizeof(T) * 8)
+        return ~T(0);
+    return (T(1) << count) - 1;
+}
+
+/** Insert @p field into bits [first, first+count) of @p value. */
+template <typename T>
+constexpr T
+insertBits(T value, unsigned first, unsigned count, T field)
+{
+    const T m = mask<T>(count);
+    return (value & ~(m << first)) | ((field & m) << first);
+}
+
+/** Position of the most significant set bit, or -1 if none. */
+constexpr int
+msbPosition(uint64_t value)
+{
+    int pos = -1;
+    while (value) {
+        value >>= 1;
+        ++pos;
+    }
+    return pos;
+}
+
+/** Ceiling division for non-negative integers. */
+template <typename T>
+constexpr T
+divCeil(T num, T den)
+{
+    return (num + den - 1) / den;
+}
+
+/** Round @p value up to the next multiple of @p align. */
+template <typename T>
+constexpr T
+roundUp(T value, T align)
+{
+    return divCeil(value, align) * align;
+}
+
+/** Sign-extend the low @p width bits of @p value. */
+constexpr int64_t
+signExtend(uint64_t value, unsigned width)
+{
+    const uint64_t sign_bit = uint64_t(1) << (width - 1);
+    const uint64_t m = mask<uint64_t>(width);
+    value &= m;
+    return (value ^ sign_bit) - int64_t(sign_bit);
+}
+
+} // namespace rapid
+
+#endif // RAPID_COMMON_BITFIELD_HH

@@ -1,0 +1,44 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+
+namespace rapid {
+namespace detail {
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (verboseLoggingEnabled())
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+bool
+verboseLoggingEnabled()
+{
+    static const bool enabled = std::getenv("RAPID_VERBOSE") != nullptr;
+    return enabled;
+}
+
+} // namespace rapid

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Error and status reporting helpers, modelled after gem5's
+ * base/logging.hh conventions: panic() for internal invariant
+ * violations, fatal() for user-caused unrecoverable errors, warn() and
+ * inform() for status messages.
+ */
+
+#ifndef RAPID_COMMON_LOGGING_HH
+#define RAPID_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rapid {
+
+namespace detail {
+
+/** Format a parameter pack into a string via operator<<. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** True if RAPID_VERBOSE is set in the environment. */
+bool verboseLoggingEnabled();
+
+} // namespace rapid
+
+/**
+ * Abort on an internal invariant violation (a bug in this library).
+ */
+#define rapid_panic(...)                                                    \
+    ::rapid::detail::panicImpl(__FILE__, __LINE__,                          \
+                               ::rapid::detail::formatMessage(__VA_ARGS__))
+
+/**
+ * Exit on an unrecoverable user error (bad configuration or arguments).
+ */
+#define rapid_fatal(...)                                                    \
+    ::rapid::detail::fatalImpl(__FILE__, __LINE__,                          \
+                               ::rapid::detail::formatMessage(__VA_ARGS__))
+
+/** Non-fatal warning about questionable behaviour. */
+#define rapid_warn(...)                                                     \
+    ::rapid::detail::warnImpl(::rapid::detail::formatMessage(__VA_ARGS__))
+
+/** Informational status message (suppressed unless RAPID_VERBOSE). */
+#define rapid_inform(...)                                                   \
+    ::rapid::detail::informImpl(::rapid::detail::formatMessage(__VA_ARGS__))
+
+/** Assert that is kept in release builds; panics with a message. */
+#define rapid_assert(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            rapid_panic("assertion failed: " #cond " ",                    \
+                        ::rapid::detail::formatMessage(__VA_ARGS__));       \
+        }                                                                   \
+    } while (0)
+
+#endif // RAPID_COMMON_LOGGING_HH

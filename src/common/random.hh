@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic random number generation. All stochastic components in
+ * the library draw from explicitly seeded generators so experiments are
+ * reproducible run-to-run.
+ */
+
+#ifndef RAPID_COMMON_RANDOM_HH
+#define RAPID_COMMON_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rapid {
+
+/**
+ * A small deterministic RNG wrapper around std::mt19937_64 with
+ * convenience draws for the distributions the library needs.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+    /** Uniform in [0, 1). */
+    double uniform() { return unit_(engine_); }
+
+    /** Uniform in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+    }
+
+    /** Standard normal scaled by @p stddev around @p mean. */
+    double
+    gaussian(double mean = 0.0, double stddev = 1.0)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /** Laplace(0, b) draw — typical of trained DNN weights. */
+    double
+    laplace(double b = 1.0)
+    {
+        double u = uniform() - 0.5;
+        double s = u < 0 ? -1.0 : 1.0;
+        return -b * s * std::log(1.0 - 2.0 * std::abs(u));
+    }
+
+    /** Fill a vector with Gaussian draws. */
+    std::vector<float>
+    gaussianVector(size_t n, double mean = 0.0, double stddev = 1.0)
+    {
+        std::vector<float> out(n);
+        for (auto &v : out)
+            v = static_cast<float>(gaussian(mean, stddev));
+        return out;
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+    std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+} // namespace rapid
+
+#endif // RAPID_COMMON_RANDOM_HH

@@ -1,0 +1,112 @@
+#include "compiler/tiling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace rapid {
+
+namespace {
+
+/** Position-loop extent of a compute layer at @p batch. */
+int64_t
+totalPositions(const Layer &layer, int64_t batch)
+{
+    if (layer.type == LayerType::Gemm)
+        return layer.gm * batch * layer.repeat;
+    return layer.outH() * layer.outW() * batch * layer.repeat;
+}
+
+/** Input bytes that must be resident to produce one output position. */
+double
+inputBytesPerPosition(const Layer &layer, Precision p)
+{
+    if (layer.type == LayerType::Gemm)
+        return double(layer.gk) * operandBytes(p);
+    // Convolution: consecutive output positions reuse the sliding
+    // window; amortized, each position consumes ~Ci * stride^2 fresh
+    // input elements (halo ignored -- a documented approximation).
+    return double(layer.ci) * layer.stride * layer.stride *
+           operandBytes(p);
+}
+
+/** Output bytes per position. */
+double
+outputBytesPerPosition(const Layer &layer, Precision p)
+{
+    const int64_t width =
+        layer.type == LayerType::Gemm ? layer.gn : layer.co;
+    return double(width) * operandBytes(p);
+}
+
+} // namespace
+
+TilePlanner::TilePlanner(const CoreConfig &core,
+                         double mem_bytes_per_cycle)
+    : core_(core), memBytesPerCycle_(mem_bytes_per_cycle)
+{
+    rapid_assert(mem_bytes_per_cycle > 0, "non-positive memory rate");
+}
+
+double
+TilePlanner::activationBudget(const Layer &layer,
+                              Precision precision) const
+{
+    const double l1 = double(core_.l1_kib) * 1024.0;
+    const double wt =
+        double(layer.weightElems()) * operandBytes(precision);
+    // Weights that fit stay pinned; activations get the remainder,
+    // never less than a quarter of the L1.
+    return std::max(0.25 * l1, l1 - std::min(wt, 0.75 * l1));
+}
+
+TileSchedule
+TilePlanner::plan(const Layer &layer, int64_t batch,
+                  Precision precision) const
+{
+    rapid_assert(layer.isCompute(), "tiling a non-compute layer ",
+                 layer.name);
+    TileSchedule s;
+    const int64_t positions = totalPositions(layer, batch);
+    const double in_pp = inputBytesPerPosition(layer, precision);
+    const double out_pp = outputBytesPerPosition(layer, precision);
+    s.weight_bytes =
+        double(layer.weightElems()) * operandBytes(precision);
+
+    const double budget = activationBudget(layer, precision);
+
+    // Largest tile that double-buffers: 2 tiles' in+out must fit.
+    int64_t per_tile = int64_t(budget / (2.0 * (in_pp + out_pp)));
+    s.double_buffered = per_tile >= 1;
+    if (per_tile < 1) {
+        // Fall back to single-buffered, then to a single position.
+        per_tile = std::max<int64_t>(
+            1, int64_t(budget / (in_pp + out_pp)));
+        s.double_buffered = false;
+    }
+    per_tile = std::min(per_tile, positions);
+    s.positions_per_tile = per_tile;
+    s.num_tiles = divCeil(positions, per_tile);
+
+    s.input_tile_bytes = double(per_tile) * in_pp;
+    s.output_tile_bytes = double(per_tile) * out_pp;
+    s.fetch_cycles_per_tile =
+        (s.input_tile_bytes + s.output_tile_bytes) /
+        memBytesPerCycle_;
+
+    // MPE compute per position: reduction x kernel work at the
+    // corelet rate (both corelets of the core cooperate).
+    const double macs_per_pos =
+        layer.type == LayerType::Gemm
+            ? double(layer.gk) * layer.gn
+            : double(layer.ci / layer.groups) * layer.kh * layer.kw *
+                  layer.co;
+    const double core_rate = core_.macsPerCycle(precision);
+    s.compute_cycles_per_tile =
+        double(per_tile) * macs_per_pos / core_rate;
+    return s;
+}
+
+} // namespace rapid

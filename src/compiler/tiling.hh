@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Scratchpad tiling and double-buffer planning (Section III-E): the
+ * compiler blocks the position loops (H x W x N) of each layer so
+ * that a tile's working set fits the core's L1 with room to
+ * double-buffer, then sizes the data fetches so DRAM latency hides
+ * under compute ("data fetch latency can be effectively hidden by
+ * double-buffering data in the L1 scratchpad overlapped in time with
+ * computations in the core").
+ */
+
+#ifndef RAPID_COMPILER_TILING_HH
+#define RAPID_COMPILER_TILING_HH
+
+#include <algorithm>
+
+#include "arch/config.hh"
+#include "workloads/layer.hh"
+
+namespace rapid {
+
+/** A planned tile schedule for one layer on one core. */
+struct TileSchedule
+{
+    /// Output positions (H x W x N elements of the position loop)
+    /// processed per tile.
+    int64_t positions_per_tile = 0;
+    int64_t num_tiles = 0;
+
+    double input_tile_bytes = 0;
+    double output_tile_bytes = 0;
+    double weight_bytes = 0; ///< stationary, fetched once
+
+    /// True when two tiles' activations fit simultaneously, enabling
+    /// fetch/compute overlap.
+    bool double_buffered = false;
+
+    /// DRAM cycles to fetch one tile's activations.
+    double fetch_cycles_per_tile = 0;
+    /// MPE cycles to compute one tile.
+    double compute_cycles_per_tile = 0;
+
+    /** Fraction of fetch latency hidden under compute (0..1). */
+    double
+    prefetchCoverage() const
+    {
+        if (fetch_cycles_per_tile <= 0)
+            return 1.0;
+        if (!double_buffered)
+            return 0.0;
+        return std::min(1.0, compute_cycles_per_tile /
+                                 fetch_cycles_per_tile);
+    }
+
+    /** Total cycles including exposed fetch time. */
+    double
+    totalCycles() const
+    {
+        double exposed = double_buffered
+            ? std::max(0.0, fetch_cycles_per_tile -
+                                compute_cycles_per_tile)
+            : fetch_cycles_per_tile;
+        return num_tiles *
+               (compute_cycles_per_tile + exposed);
+    }
+};
+
+/**
+ * Plans per-layer tile schedules against one core's L1 capacity and
+ * the external memory bandwidth.
+ */
+class TilePlanner
+{
+  public:
+    /**
+     * @param core Core configuration (L1 capacity and port width).
+     * @param mem_bytes_per_cycle External bandwidth seen by the core.
+     */
+    TilePlanner(const CoreConfig &core, double mem_bytes_per_cycle);
+
+    /**
+     * Plan @p layer at @p batch and @p precision. The returned
+     * schedule always respects the L1 capacity, shrinking the tile
+     * until it fits (down to one position).
+     */
+    TileSchedule plan(const Layer &layer, int64_t batch,
+                      Precision precision) const;
+
+    /** L1 bytes available for activation tiles (weights get the rest). */
+    double activationBudget(const Layer &layer,
+                            Precision precision) const;
+
+  private:
+    CoreConfig core_;
+    double memBytesPerCycle_;
+};
+
+} // namespace rapid
+
+#endif // RAPID_COMPILER_TILING_HH

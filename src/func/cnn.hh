@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A small convolutional network trainer with pluggable precision,
+ * extending the HFP8-parity demonstration (Section II-B) from MLPs to
+ * the convolution workloads RaPiD actually targets. Convolution
+ * operands (activations/weights forward, errors backward) are
+ * quantized to the pass's FP8 flavour element-by-element before the
+ * reference convolution, modelling the exact operand formats of
+ * Figure 3; accumulation is modelled at the SFU's FP32 level
+ * (a documented simplification relative to the MLP path's chunked
+ * FP16 emulation).
+ */
+
+#ifndef RAPID_FUNC_CNN_HH
+#define RAPID_FUNC_CNN_HH
+
+#include <vector>
+
+#include "func/trainer.hh"
+#include "tensor/ops.hh"
+
+namespace rapid {
+
+/** A labelled image dataset: (N, C, H, W) plus integer labels. */
+struct ImageDataset
+{
+    Tensor images{std::vector<int64_t>{1, 1, 1, 1}};
+    std::vector<int> labels;
+
+    int64_t size() const { return images.dim(0); }
+
+    /** Slice samples [begin, begin+count). */
+    ImageDataset slice(int64_t begin, int64_t count) const;
+};
+
+/**
+ * Synthetic 1x8x8 orientation task: class 0 = horizontal stripes,
+ * class 1 = vertical stripes, with random phase/amplitude and noise.
+ */
+ImageDataset makeStripes(Rng &rng, int64_t samples_per_class,
+                         double noise = 0.25);
+
+/** CNN hyper-parameters. */
+struct CnnConfig
+{
+    int64_t classes = 2;
+    int64_t conv1_channels = 8;
+    int64_t conv2_channels = 16;
+    TrainPrecision precision = TrainPrecision::FP32;
+    int fwd_bias = 4; ///< programmable FP8 (1,4,3) exponent bias
+    float learning_rate = 0.05f;
+    float momentum = 0.9f;
+    uint64_t seed = 4321;
+};
+
+/**
+ * conv(3x3) -> ReLU -> maxpool(2) -> conv(3x3) -> ReLU -> global
+ * average pool -> fc, trained with momentum SGD.
+ */
+class SmallCnn
+{
+  public:
+    explicit SmallCnn(const CnnConfig &cfg);
+
+    /** Forward at the configured precision; returns logits (N, C). */
+    Tensor forward(const Tensor &images);
+
+    /** One SGD step; returns the batch loss. */
+    float trainStep(const Tensor &images,
+                    const std::vector<int> &labels);
+
+    void train(const ImageDataset &train, int epochs,
+               int64_t batch_size);
+
+    double evaluate(const ImageDataset &test);
+
+  private:
+    /** Quantize a tensor to the precision's operand format. */
+    Tensor asOperand(const Tensor &t, Fp8Kind kind) const;
+
+    CnnConfig cfg_;
+    Rng rng_;
+
+    Tensor w1_, b1_, w2_, b2_, w3_, b3_;
+    Tensor v_w1_, v_b1_, v_w2_, v_b2_, v_w3_, v_b3_;
+
+    // Forward caches for backprop.
+    Tensor x_in_, a1_, p1_, a2_, g2_;
+    std::vector<int64_t> pool_argmax_;
+};
+
+/**
+ * Train identical CNNs at FP32 and @p precision on the stripes task
+ * and compare test accuracies (CNN counterpart of
+ * runTrainingParity()).
+ */
+ParityResult runCnnTrainingParity(TrainPrecision precision,
+                                  const ImageDataset &train,
+                                  const ImageDataset &test,
+                                  int epochs = 12, int64_t batch = 16);
+
+} // namespace rapid
+
+#endif // RAPID_FUNC_CNN_HH

@@ -1,0 +1,113 @@
+#include "func/datasets.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rapid {
+
+Dataset
+Dataset::slice(int64_t begin, int64_t count) const
+{
+    rapid_assert(begin >= 0 && begin + count <= size(),
+                 "dataset slice out of range");
+    Dataset out;
+    out.features = Tensor({count, featureDim()});
+    out.labels.resize(size_t(count));
+    for (int64_t i = 0; i < count; ++i) {
+        for (int64_t j = 0; j < featureDim(); ++j)
+            out.features.at(i, j) = features.at(begin + i, j);
+        out.labels[size_t(i)] = labels[size_t(begin + i)];
+    }
+    return out;
+}
+
+Dataset
+makeSpirals(Rng &rng, int64_t samples_per_class, double noise)
+{
+    const int64_t n = samples_per_class * 2;
+    Dataset ds;
+    ds.features = Tensor({n, 2});
+    ds.labels.resize(size_t(n));
+    for (int64_t cls = 0; cls < 2; ++cls) {
+        for (int64_t i = 0; i < samples_per_class; ++i) {
+            double t = double(i) / double(samples_per_class);
+            double r = 0.2 + 0.8 * t;
+            double phi = 2.5 * M_PI * t + M_PI * double(cls);
+            int64_t row = cls * samples_per_class + i;
+            ds.features.at(row, 0) =
+                float(r * std::cos(phi) + rng.gaussian(0, noise));
+            ds.features.at(row, 1) =
+                float(r * std::sin(phi) + rng.gaussian(0, noise));
+            ds.labels[size_t(row)] = int(cls);
+        }
+    }
+    shuffleDataset(rng, ds);
+    return ds;
+}
+
+Dataset
+makeBlobs(Rng &rng, int64_t classes, int64_t dim,
+          int64_t samples_per_class, double spread)
+{
+    const int64_t n = classes * samples_per_class;
+    Dataset ds;
+    ds.features = Tensor({n, dim});
+    ds.labels.resize(size_t(n));
+    // Deterministic random unit-ish centers per class.
+    std::vector<std::vector<double>> centers;
+    centers.resize(size_t(classes));
+    for (auto &c : centers) {
+        c.resize(size_t(dim));
+        for (auto &v : c)
+            v = rng.gaussian(0.0, 1.0);
+    }
+    for (int64_t cls = 0; cls < classes; ++cls) {
+        for (int64_t i = 0; i < samples_per_class; ++i) {
+            int64_t row = cls * samples_per_class + i;
+            for (int64_t j = 0; j < dim; ++j)
+                ds.features.at(row, j) =
+                    float(centers[size_t(cls)][size_t(j)] +
+                          rng.gaussian(0.0, spread));
+            ds.labels[size_t(row)] = int(cls);
+        }
+    }
+    shuffleDataset(rng, ds);
+    return ds;
+}
+
+void
+shuffleDataset(Rng &rng, Dataset &ds)
+{
+    std::vector<int64_t> perm(size_t(ds.size()));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng.engine());
+    Tensor feats({ds.size(), ds.featureDim()});
+    std::vector<int> labels(size_t(ds.size()));
+    for (int64_t i = 0; i < ds.size(); ++i) {
+        for (int64_t j = 0; j < ds.featureDim(); ++j)
+            feats.at(i, j) = ds.features.at(perm[size_t(i)], j);
+        labels[size_t(i)] = ds.labels[size_t(perm[size_t(i)])];
+    }
+    ds.features = std::move(feats);
+    ds.labels = std::move(labels);
+}
+
+double
+accuracy(const Tensor &logits, const std::vector<int> &labels)
+{
+    rapid_assert(logits.dim(0) == int64_t(labels.size()),
+                 "accuracy: label count mismatch");
+    int64_t correct = 0;
+    for (int64_t i = 0; i < logits.dim(0); ++i) {
+        int best = 0;
+        for (int64_t j = 1; j < logits.dim(1); ++j)
+            if (logits.at(i, j) > logits.at(i, best))
+                best = int(j);
+        if (best == labels[size_t(i)])
+            ++correct;
+    }
+    return double(correct) / double(logits.dim(0));
+}
+
+} // namespace rapid

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Synthetic classification datasets. The paper's accuracy claims are
+ * established on ImageNet/COCO-scale models; reproducing those
+ * trainings is infeasible here, so the HFP8-vs-FP32 and INT4-vs-FP32
+ * parity experiments run on laptop-scale synthetic tasks that are
+ * still non-linearly separable (see DESIGN.md substitutions).
+ */
+
+#ifndef RAPID_FUNC_DATASETS_HH
+#define RAPID_FUNC_DATASETS_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "tensor/tensor.hh"
+
+namespace rapid {
+
+/** A labelled dataset: features (N, D) and integer class labels. */
+struct Dataset
+{
+    Tensor features{std::vector<int64_t>{1, 1}};
+    std::vector<int> labels;
+
+    int64_t size() const { return features.dim(0); }
+    int64_t featureDim() const { return features.dim(1); }
+
+    /** Slice rows [begin, begin+count). */
+    Dataset slice(int64_t begin, int64_t count) const;
+};
+
+/**
+ * Two interleaved 2-D spirals, the classic non-linearly-separable
+ * benchmark task. @p noise adds Gaussian jitter.
+ */
+Dataset makeSpirals(Rng &rng, int64_t samples_per_class,
+                    double noise = 0.08);
+
+/**
+ * @p classes Gaussian blobs in @p dim dimensions with unit separation
+ * and @p spread standard deviation.
+ *
+ * @note The class centers are drawn from @p rng too, so two calls
+ *       produce blobs around *different* centers. To get a matching
+ *       train/test pair, generate one dataset and slice() it.
+ */
+Dataset makeBlobs(Rng &rng, int64_t classes, int64_t dim,
+                  int64_t samples_per_class, double spread = 0.35);
+
+/** Shuffle rows in place (features and labels together). */
+void shuffleDataset(Rng &rng, Dataset &ds);
+
+/** Fraction of rows of @p logits whose argmax matches the label. */
+double accuracy(const Tensor &logits, const std::vector<int> &labels);
+
+} // namespace rapid
+
+#endif // RAPID_FUNC_DATASETS_HH

@@ -1,0 +1,300 @@
+#include "func/quantized_ops.hh"
+
+#include <vector>
+
+namespace rapid {
+
+namespace {
+
+/**
+ * Core reduction shared by all float-path executors: accumulate the
+ * element products of two prepared operand vectors with chunked
+ * DLFloat16 accumulation.
+ */
+float
+chunkedDot(const float *a, const float *b, int64_t n,
+           const ExecConfig &cfg)
+{
+    ChunkAccumulator acc(cfg.chunk_size, cfg.fp32_outer, cfg.rounding);
+    for (int64_t i = 0; i < n; ++i) {
+        if (a[i] == 0.0f || b[i] == 0.0f)
+            continue; // zero-gated FMA passes the accumulator through
+        acc.add(double(a[i]) * double(b[i]));
+    }
+    return dlfloat16().quantize(acc.total(), cfg.rounding);
+}
+
+/** Gather a conv receptive field into contiguous operand vectors. */
+struct Patch
+{
+    std::vector<float> act;
+    std::vector<float> wt;
+};
+
+template <typename T>
+void
+gatherPatch(const Tensor &input, const T &weight_like, int64_t in_n,
+            int64_t oc, int64_t oy, int64_t ox, const ConvParams &p,
+            int64_t cig, int64_t co_per_g, Patch &patch)
+{
+    const int64_t h = input.dim(2), w = input.dim(3);
+    const int64_t kh = weight_like.dim(2), kw = weight_like.dim(3);
+    const int64_t g = oc / co_per_g;
+    patch.act.clear();
+    patch.wt.clear();
+    for (int64_t icg = 0; icg < cig; ++icg) {
+        const int64_t ic = g * cig + icg;
+        for (int64_t ky = 0; ky < kh; ++ky) {
+            const int64_t iy = oy * p.stride + ky - p.pad;
+            for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t ix = ox * p.stride + kx - p.pad;
+                const bool inside =
+                    iy >= 0 && iy < h && ix >= 0 && ix < w;
+                patch.act.push_back(
+                    inside ? input.at(in_n, ic, iy, ix) : 0.0f);
+                patch.wt.push_back(weight_like.at(oc, icg, ky, kx));
+            }
+        }
+    }
+}
+
+Tensor
+quantizeWith(const Tensor &t, const FloatFormat &fmt, Rounding rounding)
+{
+    Tensor out = t;
+    out.apply([&](float v) { return fmt.quantize(v, rounding); });
+    return out;
+}
+
+} // namespace
+
+Tensor
+quantizeTensorFp8(const Tensor &t, Fp8Kind kind, const ExecConfig &cfg)
+{
+    const FloatFormat fmt = (kind == Fp8Kind::Forward)
+                                ? fp8e4m3(cfg.fwd_bias)
+                                : fp8e5m2();
+    return quantizeWith(t, fmt, cfg.rounding);
+}
+
+Tensor
+quantizeTensorFp16(const Tensor &t, Rounding rounding)
+{
+    return quantizeWith(t, dlfloat16(), rounding);
+}
+
+Tensor
+fp16Matmul(const Tensor &a, const Tensor &b, const ExecConfig &cfg)
+{
+    Tensor qa = quantizeTensorFp16(a, cfg.rounding);
+    Tensor qbt = transpose(quantizeTensorFp16(b, cfg.rounding));
+    const int64_t m = qa.dim(0), k = qa.dim(1), n = qbt.dim(0);
+    Tensor out({m, n});
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j)
+            out.at(i, j) = chunkedDot(qa.data() + i * k,
+                                      qbt.data() + j * k, k, cfg);
+    return out;
+}
+
+Tensor
+hfp8Matmul(const Tensor &a, Fp8Kind a_kind, const Tensor &b,
+           Fp8Kind b_kind, const ExecConfig &cfg)
+{
+    // Quantize each operand tensor once (the FP8 -> FP9 input stage is
+    // exact, so the FP8 value is what the multiplier sees).
+    Tensor qa = quantizeTensorFp8(a, a_kind, cfg);
+    Tensor qbt = transpose(quantizeTensorFp8(b, b_kind, cfg));
+    const int64_t m = qa.dim(0), k = qa.dim(1), n = qbt.dim(0);
+    Tensor out({m, n});
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j)
+            out.at(i, j) = chunkedDot(qa.data() + i * k,
+                                      qbt.data() + j * k, k, cfg);
+    return out;
+}
+
+Tensor
+fp16Conv2d(const Tensor &input, const Tensor &weight,
+           const ConvParams &p, const ExecConfig &cfg)
+{
+    Tensor qi = quantizeTensorFp16(input, cfg.rounding);
+    Tensor qw = quantizeTensorFp16(weight, cfg.rounding);
+    const int64_t n = qi.dim(0), co = qw.dim(0);
+    const int64_t cig = qw.dim(1);
+    const int64_t ho = convOutDim(qi.dim(2), qw.dim(2), p.stride, p.pad);
+    const int64_t wo = convOutDim(qi.dim(3), qw.dim(3), p.stride, p.pad);
+    const int64_t co_per_g = co / p.groups;
+    Tensor out({n, co, ho, wo});
+    Patch patch;
+    for (int64_t in_n = 0; in_n < n; ++in_n)
+        for (int64_t oc = 0; oc < co; ++oc)
+            for (int64_t oy = 0; oy < ho; ++oy)
+                for (int64_t ox = 0; ox < wo; ++ox) {
+                    gatherPatch(qi, qw, in_n, oc, oy, ox, p, cig,
+                                co_per_g, patch);
+                    out.at(in_n, oc, oy, ox) =
+                        chunkedDot(patch.act.data(), patch.wt.data(),
+                                   int64_t(patch.act.size()), cfg);
+                }
+    return out;
+}
+
+Tensor
+hfp8Conv2d(const Tensor &input, const Tensor &weight,
+           const ConvParams &p, const ExecConfig &cfg)
+{
+    Tensor qi = quantizeTensorFp8(input, Fp8Kind::Forward, cfg);
+    Tensor qw = quantizeTensorFp8(weight, Fp8Kind::Forward, cfg);
+    const int64_t n = qi.dim(0), co = qw.dim(0);
+    const int64_t cig = qw.dim(1);
+    const int64_t ho = convOutDim(qi.dim(2), qw.dim(2), p.stride, p.pad);
+    const int64_t wo = convOutDim(qi.dim(3), qw.dim(3), p.stride, p.pad);
+    const int64_t co_per_g = co / p.groups;
+    Tensor out({n, co, ho, wo});
+    Patch patch;
+    for (int64_t in_n = 0; in_n < n; ++in_n)
+        for (int64_t oc = 0; oc < co; ++oc)
+            for (int64_t oy = 0; oy < ho; ++oy)
+                for (int64_t ox = 0; ox < wo; ++ox) {
+                    gatherPatch(qi, qw, in_n, oc, oy, ox, p, cig,
+                                co_per_g, patch);
+                    out.at(in_n, oc, oy, ox) =
+                        chunkedDot(patch.act.data(), patch.wt.data(),
+                                   int64_t(patch.act.size()), cfg);
+                }
+    return out;
+}
+
+namespace {
+
+/**
+ * Integer chunked dot product: int32 intra-chunk accumulation, INT16
+ * saturation at chunk boundaries (the MPE's south-bus width), FP32
+ * inter-chunk reduction on the SFU.
+ */
+float
+intChunkedDot(const int *a_levels, const int *b_levels, int64_t n,
+              float scale, const ExecConfig &cfg)
+{
+    double outer = 0.0;
+    int64_t chunk_acc = 0;
+    size_t in_chunk = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        chunk_acc += int64_t(a_levels[i]) * int64_t(b_levels[i]);
+        if (++in_chunk == cfg.chunk_size) {
+            outer += double(saturateToInt16(chunk_acc));
+            chunk_acc = 0;
+            in_chunk = 0;
+        }
+    }
+    if (in_chunk)
+        outer += double(saturateToInt16(chunk_acc));
+    return dlfloat16().quantize(float(outer * double(scale)),
+                                cfg.rounding);
+}
+
+std::vector<int>
+pactLevels(const Tensor &t, const PactQuantizer &q)
+{
+    std::vector<int> out(size_t(t.numel()));
+    for (int64_t i = 0; i < t.numel(); ++i)
+        out[size_t(i)] = q.quantizeLevel(t[i]);
+    return out;
+}
+
+std::vector<int>
+sawbLevels(const Tensor &t, const SawbQuantizer &q)
+{
+    std::vector<int> out(size_t(t.numel()));
+    for (int64_t i = 0; i < t.numel(); ++i)
+        out[size_t(i)] = q.quantizeLevel(t[i]);
+    return out;
+}
+
+} // namespace
+
+Tensor
+intMatmul(const Tensor &a, const PactQuantizer &act_q, const Tensor &b,
+          const SawbQuantizer &wt_q, unsigned width,
+          const ExecConfig &cfg)
+{
+    rapid_assert(width == 4 || width == 2, "FXU width must be 4 or 2");
+    rapid_assert(act_q.bits() == width && wt_q.bits() == width,
+                 "quantizer width mismatch");
+    const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    std::vector<int> qa = pactLevels(a, act_q);
+    std::vector<int> qb = sawbLevels(transpose(b), wt_q);
+    const float scale = act_q.scale() * wt_q.scale();
+    Tensor out({m, n});
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j)
+            out.at(i, j) = intChunkedDot(qa.data() + i * k,
+                                         qb.data() + j * k, k, scale,
+                                         cfg);
+    return out;
+}
+
+Tensor
+intConv2d(const Tensor &input, const PactQuantizer &act_q,
+          const Tensor &weight, const SawbQuantizer &wt_q,
+          unsigned width, const ConvParams &p, const ExecConfig &cfg)
+{
+    rapid_assert(width == 4 || width == 2, "FXU width must be 4 or 2");
+    const int64_t n = input.dim(0), co = weight.dim(0);
+    const int64_t cig = weight.dim(1);
+    const int64_t kh = weight.dim(2), kw = weight.dim(3);
+    const int64_t h = input.dim(2), w = input.dim(3);
+    const int64_t ho = convOutDim(h, kh, p.stride, p.pad);
+    const int64_t wo = convOutDim(w, kw, p.stride, p.pad);
+    const int64_t co_per_g = co / p.groups;
+    const float scale = act_q.scale() * wt_q.scale();
+
+    std::vector<int> qi = pactLevels(input, act_q);
+    std::vector<int> qw = sawbLevels(weight, wt_q);
+
+    auto act_level = [&](int64_t nn, int64_t c, int64_t y,
+                         int64_t x) -> int {
+        return qi[size_t(((nn * input.dim(1) + c) * h + y) * w + x)];
+    };
+    auto wt_level = [&](int64_t oc, int64_t icg, int64_t ky,
+                        int64_t kx) -> int {
+        return qw[size_t(((oc * cig + icg) * kh + ky) * kw + kx)];
+    };
+
+    Tensor out({n, co, ho, wo});
+    std::vector<int> pa, pw;
+    for (int64_t in_n = 0; in_n < n; ++in_n) {
+        for (int64_t oc = 0; oc < co; ++oc) {
+            const int64_t g = oc / co_per_g;
+            for (int64_t oy = 0; oy < ho; ++oy) {
+                for (int64_t ox = 0; ox < wo; ++ox) {
+                    pa.clear();
+                    pw.clear();
+                    for (int64_t icg = 0; icg < cig; ++icg) {
+                        const int64_t ic = g * cig + icg;
+                        for (int64_t ky = 0; ky < kh; ++ky) {
+                            const int64_t iy = oy * p.stride + ky - p.pad;
+                            for (int64_t kx = 0; kx < kw; ++kx) {
+                                const int64_t ix =
+                                    ox * p.stride + kx - p.pad;
+                                const bool inside = iy >= 0 && iy < h &&
+                                                    ix >= 0 && ix < w;
+                                pa.push_back(
+                                    inside ? act_level(in_n, ic, iy, ix)
+                                           : 0);
+                                pw.push_back(wt_level(oc, icg, ky, kx));
+                            }
+                        }
+                    }
+                    out.at(in_n, oc, oy, ox) = intChunkedDot(
+                        pa.data(), pw.data(), int64_t(pa.size()), scale,
+                        cfg);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace rapid

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Functional executors that run tensor operations through the emulated
+ * RaPiD datapaths:
+ *
+ *   - INT4/INT2 conv & GEMM: PACT-quantized activations and
+ *     SaWB-quantized weights multiplied on the FXU pipeline, chunked
+ *     integer partial sums emitted as saturating INT16 and reduced on
+ *     the SFU (Section III-A.3).
+ *   - HFP8 conv & GEMM: operands quantized to the FP8 flavour the pass
+ *     requires, converted to FP9, multiplied, and chunk-accumulated in
+ *     DLFloat16 (Section III-A.2).
+ *   - FP16 conv & GEMM: the baseline DLFloat16 path.
+ *
+ * All executors produce FP16-representable outputs like the hardware's
+ * south datapath, and are validated against the FP32 golden operators.
+ */
+
+#ifndef RAPID_FUNC_QUANTIZED_OPS_HH
+#define RAPID_FUNC_QUANTIZED_OPS_HH
+
+#include "precision/chunk_accumulator.hh"
+#include "precision/mpe_datapath.hh"
+#include "precision/quantize.hh"
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace rapid {
+
+/** Execution knobs shared by the reduced-precision executors. */
+struct ExecConfig
+{
+    size_t chunk_size = 64;  ///< LRF-resident reduction length
+    bool fp32_outer = true;  ///< SFU inter-chunk reduction precision
+    int fwd_bias = 4;        ///< programmable FP8 (1,4,3) exponent bias
+    Rounding rounding = Rounding::NearestEven;
+};
+
+/** FP16 (DLFloat16) GEMM: (M,K) x (K,N), FP16-rounded accumulation. */
+Tensor fp16Matmul(const Tensor &a, const Tensor &b,
+                  const ExecConfig &cfg = {});
+
+/** FP16 convolution with chunked DLFloat16 accumulation. */
+Tensor fp16Conv2d(const Tensor &input, const Tensor &weight,
+                  const ConvParams &params = {},
+                  const ExecConfig &cfg = {});
+
+/**
+ * HFP8 GEMM. @p a_kind / @p b_kind select the FP8 flavour of each
+ * operand tensor: (Forward, Forward) for inference/forward pass,
+ * mixed for backward and gradient GEMMs (Figure 3).
+ */
+Tensor hfp8Matmul(const Tensor &a, Fp8Kind a_kind, const Tensor &b,
+                  Fp8Kind b_kind, const ExecConfig &cfg = {});
+
+/** HFP8 convolution (forward-format operands). */
+Tensor hfp8Conv2d(const Tensor &input, const Tensor &weight,
+                  const ConvParams &params = {},
+                  const ExecConfig &cfg = {});
+
+/**
+ * INT4/INT2 GEMM through the FXU pipeline. Activations in @p a are
+ * quantized by @p act_q (PACT levels, so @p a should be post-ReLU);
+ * weights in @p b by @p wt_q. Integer chunk sums saturate to INT16,
+ * then dequantized partial results reduce on the SFU in FP32 and are
+ * emitted as DLFloat16.
+ */
+Tensor intMatmul(const Tensor &a, const PactQuantizer &act_q,
+                 const Tensor &b, const SawbQuantizer &wt_q,
+                 unsigned width, const ExecConfig &cfg = {});
+
+/** INT4/INT2 convolution (same quantization scheme as intMatmul). */
+Tensor intConv2d(const Tensor &input, const PactQuantizer &act_q,
+                 const Tensor &weight, const SawbQuantizer &wt_q,
+                 unsigned width, const ConvParams &params = {},
+                 const ExecConfig &cfg = {});
+
+/** Quantize every element of @p t to the given FP8 flavour. */
+Tensor quantizeTensorFp8(const Tensor &t, Fp8Kind kind,
+                         const ExecConfig &cfg = {});
+
+/** Quantize every element of @p t to DLFloat16. */
+Tensor quantizeTensorFp16(const Tensor &t,
+                          Rounding rounding = Rounding::NearestEven);
+
+} // namespace rapid
+
+#endif // RAPID_FUNC_QUANTIZED_OPS_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SFU function library (Section III-B): the Special Function Units
+ * provide both *accurate* and *fast* versions of the non-linear
+ * functions — sqrt, exp, ln, tanh, sigmoid, and reciprocal are
+ * "realized using approximations". The fast versions here use the
+ * range-reduction + low-degree-polynomial schemes a hardware SFU
+ * implements, evaluated in FP32 and emitted as DLFloat16, and carry
+ * accuracy guarantees proven by the test suite.
+ */
+
+#ifndef RAPID_FUNC_SFU_OPS_HH
+#define RAPID_FUNC_SFU_OPS_HH
+
+#include "tensor/tensor.hh"
+
+namespace rapid {
+
+/** Accuracy tier of an SFU evaluation (Section III-B). */
+enum class SfuMode
+{
+    Accurate, ///< library-accurate FP32 evaluation
+    Fast,     ///< hardware polynomial approximation
+};
+
+/** Scalar fast approximations (exposed for testing/accuracy audits). */
+namespace sfu {
+
+/** Fast exp: 2^x decomposition with a degree-3 fraction polynomial. */
+float fastExp(float x);
+
+/** Fast natural log via exponent extraction + mantissa polynomial. */
+float fastLog(float x);
+
+/** Fast reciprocal: Newton-Raphson on a bit-trick seed (2 steps). */
+float fastReciprocal(float x);
+
+/** Fast inverse square root (2 Newton steps); sqrt = x * rsqrt(x). */
+float fastRsqrt(float x);
+float fastSqrt(float x);
+
+/** Fast sigmoid built on fastExp with symmetric range reduction. */
+float fastSigmoid(float x);
+
+/** Fast tanh via the sigmoid identity. */
+float fastTanh(float x);
+
+/** Fast GELU (tanh form), the BERT activation. */
+float fastGelu(float x);
+
+} // namespace sfu
+
+/**
+ * Elementwise SFU evaluation of a tensor. Results are rounded to
+ * DLFloat16 like everything leaving the SFU datapath.
+ */
+Tensor sfuSigmoid(const Tensor &x, SfuMode mode = SfuMode::Fast);
+Tensor sfuTanh(const Tensor &x, SfuMode mode = SfuMode::Fast);
+Tensor sfuExp(const Tensor &x, SfuMode mode = SfuMode::Fast);
+Tensor sfuGelu(const Tensor &x, SfuMode mode = SfuMode::Fast);
+Tensor sfuReciprocal(const Tensor &x, SfuMode mode = SfuMode::Fast);
+Tensor sfuSqrt(const Tensor &x, SfuMode mode = SfuMode::Fast);
+
+/**
+ * SFU softmax over the rows of a rank-2 tensor: max-subtract, fast
+ * exp, reduction, fast reciprocal — the sequence the Figure 17
+ * auxiliary category pays for.
+ */
+Tensor sfuSoftmax(const Tensor &x, SfuMode mode = SfuMode::Fast);
+
+/** Data-shuffle ops the SFU arrays execute in training updates. */
+Tensor sfuTranspose(const Tensor &x);
+
+/** Max absolute error of @p mode vs accurate over @p samples. */
+double sfuMaxError(float (*fast_fn)(float), double (*ref_fn)(double),
+                   const std::vector<float> &samples);
+
+} // namespace rapid
+
+#endif // RAPID_FUNC_SFU_OPS_HH

@@ -1,0 +1,244 @@
+#include "func/trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rapid {
+
+Mlp::Mlp(const MlpConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
+{
+    rapid_assert(cfg.dims.size() >= 2, "MLP needs at least one layer");
+    for (size_t i = 0; i + 1 < cfg.dims.size(); ++i) {
+        Dense d;
+        int64_t in = cfg.dims[i];
+        int64_t out = cfg.dims[i + 1];
+        d.w = Tensor({out, in});
+        d.w.fillKaiming(rng_, in);
+        d.b = Tensor({out});
+        d.w_vel = Tensor({out, in});
+        d.b_vel = Tensor({out});
+        d.alpha = cfg.pact_alpha_init;
+        layers_.push_back(std::move(d));
+    }
+}
+
+Tensor
+Mlp::gemm(const Tensor &a, Fp8Kind a_kind, const Tensor &b,
+          Fp8Kind b_kind) const
+{
+    switch (cfg_.precision) {
+      case TrainPrecision::FP32:
+        return matmul(a, b);
+      case TrainPrecision::FP16:
+        return fp16Matmul(a, b, cfg_.exec);
+      case TrainPrecision::HFP8:
+        return hfp8Matmul(a, a_kind, b, b_kind, cfg_.exec);
+    }
+    rapid_panic("unknown training precision");
+}
+
+Tensor
+Mlp::denseForward(Dense &d, const Tensor &x)
+{
+    d.x_cache = x;
+    // Forward GEMM: both operands in the FP8 forward format (Fig 3).
+    Tensor y = gemm(x, Fp8Kind::Forward, transpose(d.w),
+                    Fp8Kind::Forward);
+    return biasAdd(y, d.b);
+}
+
+Tensor
+Mlp::forward(const Tensor &x)
+{
+    Tensor h = x;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        Dense &d = layers_[i];
+        Tensor y = denseForward(d, h);
+        d.pre_act = y;
+        if (i + 1 < layers_.size()) {
+            if (cfg_.use_pact) {
+                const float alpha = d.alpha;
+                y.apply([alpha](float v) {
+                    return std::clamp(v, 0.0f, alpha);
+                });
+            } else {
+                y.apply([](float v) { return v > 0 ? v : 0.0f; });
+            }
+        }
+        h = std::move(y);
+    }
+    return h;
+}
+
+Tensor
+Mlp::denseBackward(Dense &d, const Tensor &dy)
+{
+    // Weight-gradient GEMM: errors in the FP8 backward format, cached
+    // activations in the forward format (Fig 3).
+    d.w_grad = gemm(transpose(dy), Fp8Kind::Backward, d.x_cache,
+                    Fp8Kind::Forward);
+    // Bias gradient: column reduction, performed on the SFU in FP32.
+    d.b_grad = Tensor({dy.dim(1)});
+    for (int64_t j = 0; j < dy.dim(1); ++j) {
+        double acc = 0.0;
+        for (int64_t i = 0; i < dy.dim(0); ++i)
+            acc += dy.at(i, j);
+        d.b_grad[j] = float(acc);
+    }
+    // Data-gradient GEMM: errors (backward format) x weights (forward).
+    return gemm(dy, Fp8Kind::Backward, d.w, Fp8Kind::Forward);
+}
+
+void
+Mlp::applyUpdates(Dense &d)
+{
+    const float lr = cfg_.learning_rate;
+    const float mom = cfg_.momentum;
+    for (int64_t i = 0; i < d.w.numel(); ++i) {
+        d.w_vel[i] = mom * d.w_vel[i] - lr * d.w_grad[i];
+        d.w[i] += d.w_vel[i];
+    }
+    for (int64_t i = 0; i < d.b.numel(); ++i) {
+        d.b_vel[i] = mom * d.b_vel[i] - lr * d.b_grad[i];
+        d.b[i] += d.b_vel[i];
+    }
+    if (cfg_.use_pact) {
+        d.alpha_vel = mom * d.alpha_vel
+                      - lr * cfg_.alpha_lr_scale * d.alpha_grad;
+        d.alpha = std::max(0.1f, d.alpha + d.alpha_vel);
+    }
+}
+
+float
+Mlp::trainStep(const Tensor &x, const std::vector<int> &labels)
+{
+    Tensor logits = forward(x);
+    float loss = softmaxCrossEntropy(logits, labels);
+    Tensor dy = softmaxCrossEntropyGrad(logits, labels);
+
+    for (size_t li = layers_.size(); li-- > 0;) {
+        Dense &d = layers_[li];
+        if (li + 1 < layers_.size()) {
+            // Backprop through the PACT / ReLU activation (STE).
+            Tensor gated = dy;
+            float alpha_grad = 0.0f;
+            for (int64_t i = 0; i < dy.numel(); ++i) {
+                float pre = d.pre_act[i];
+                if (cfg_.use_pact) {
+                    PactQuantizer q(d.alpha, cfg_.pact_bits);
+                    alpha_grad += dy[i] * q.gradAlpha(pre);
+                    gated[i] = dy[i] * q.gradInput(pre);
+                } else {
+                    gated[i] = pre > 0 ? dy[i] : 0.0f;
+                }
+            }
+            d.alpha_grad = alpha_grad + cfg_.alpha_decay * d.alpha;
+            dy = denseBackward(d, gated);
+        } else {
+            dy = denseBackward(d, dy);
+        }
+    }
+    for (auto &d : layers_)
+        applyUpdates(d);
+    return loss;
+}
+
+void
+Mlp::train(const Dataset &train, int epochs, int64_t batch_size)
+{
+    for (int e = 0; e < epochs; ++e) {
+        for (int64_t b = 0; b + batch_size <= train.size();
+             b += batch_size) {
+            Dataset mb = train.slice(b, batch_size);
+            trainStep(mb.features, mb.labels);
+        }
+    }
+}
+
+double
+Mlp::evaluate(const Dataset &test)
+{
+    Tensor logits = forward(test.features);
+    return accuracy(logits, test.labels);
+}
+
+double
+Mlp::evaluateInt(const Dataset &test, unsigned width,
+                 bool keep_edges_fp16)
+{
+    rapid_assert(cfg_.use_pact, "INT deployment requires PACT training");
+    Tensor h = test.features;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        Dense &d = layers_[i];
+        const bool edge = (i == 0 || i + 1 == layers_.size());
+        Tensor y({h.dim(0), d.w.dim(0)});
+        if (edge && keep_edges_fp16) {
+            y = fp16Matmul(h, transpose(d.w), cfg_.exec);
+        } else {
+            // Input of a hidden layer is post-PACT of layer i-1:
+            // bounded to [0, alpha_{i-1}] and safe to quantize.
+            PactQuantizer act_q(layers_[i - 1].alpha, width);
+            SawbQuantizer wt_q(d.w.storage(), width);
+            y = intMatmul(h, act_q, transpose(d.w), wt_q, width,
+                          cfg_.exec);
+        }
+        y = biasAdd(y, d.b);
+        if (i + 1 < layers_.size()) {
+            const float alpha = d.alpha;
+            y.apply([alpha](float v) {
+                return std::clamp(v, 0.0f, alpha);
+            });
+        }
+        h = std::move(y);
+    }
+    return accuracy(h, test.labels);
+}
+
+float
+Mlp::pactAlpha(size_t i) const
+{
+    rapid_assert(i < layers_.size(), "layer index out of range");
+    return layers_[i].alpha;
+}
+
+ParityResult
+runTrainingParity(TrainPrecision precision, const Dataset &train,
+                  const Dataset &test, int epochs, int64_t batch)
+{
+    MlpConfig base;
+    base.dims = {train.featureDim(), 48, 48,
+                 1 + *std::max_element(train.labels.begin(),
+                                       train.labels.end())};
+    base.precision = TrainPrecision::FP32;
+    base.seed = 99;
+
+    MlpConfig reduced = base;
+    reduced.precision = precision;
+
+    Mlp fp32_model(base);
+    fp32_model.train(train, epochs, batch);
+    Mlp reduced_model(reduced);
+    reduced_model.train(train, epochs, batch);
+
+    return {fp32_model.evaluate(test), reduced_model.evaluate(test)};
+}
+
+ParityResult
+runInferenceParity(unsigned width, const Dataset &train,
+                   const Dataset &test, int epochs, int64_t batch)
+{
+    MlpConfig cfg;
+    cfg.dims = {train.featureDim(), 48, 48,
+                1 + *std::max_element(train.labels.begin(),
+                                      train.labels.end())};
+    cfg.precision = TrainPrecision::FP32;
+    cfg.use_pact = true;
+    cfg.pact_bits = width;
+    cfg.seed = 99;
+
+    Mlp model(cfg);
+    model.train(train, epochs, batch);
+    return {model.evaluate(test), model.evaluateInt(test, width)};
+}
+
+} // namespace rapid

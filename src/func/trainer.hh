@@ -1,0 +1,145 @@
+/**
+ * @file
+ * A small from-scratch MLP training framework with pluggable GEMM
+ * precision, used to reproduce the paper's algorithmic foundations:
+ *
+ *   - HFP8 training (Section II-B): forward GEMMs run with both
+ *     operands in FP8 (1,4,3); the backward data-gradient and weight-
+ *     gradient GEMMs mix FP8 (1,5,2) error operands with FP8 (1,4,3)
+ *     weight/activation operands, exactly as Figure 3 prescribes.
+ *     Accumulation is chunked DLFloat16; master weights stay FP32.
+ *   - PACT (Section II-C): the activation is a clipped ReLU whose clip
+ *     alpha is learned jointly with the weights via the straight-
+ *     through estimator.
+ *   - INT4/INT2 deployment: a trained model is quantized with SaWB
+ *     weights + PACT activations and evaluated through the FXU
+ *     executors.
+ */
+
+#ifndef RAPID_FUNC_TRAINER_HH
+#define RAPID_FUNC_TRAINER_HH
+
+#include <vector>
+
+#include "func/datasets.hh"
+#include "func/quantized_ops.hh"
+#include "tensor/tensor.hh"
+
+namespace rapid {
+
+/** GEMM execution precision during training. */
+enum class TrainPrecision
+{
+    FP32, ///< golden baseline
+    FP16, ///< DLFloat16 GEMMs with chunked accumulation
+    HFP8, ///< hybrid FP8 GEMMs per Figure 3
+};
+
+/** Hyper-parameters of the MLP and its training run. */
+struct MlpConfig
+{
+    std::vector<int64_t> dims;   ///< e.g. {2, 48, 48, 2}
+    TrainPrecision precision = TrainPrecision::FP32;
+    ExecConfig exec;             ///< chunking / FP8 bias knobs
+    bool use_pact = true;        ///< PACT-ReLU (learned clip) vs ReLU
+    float pact_alpha_init = 6.0f;
+    unsigned pact_bits = 4;      ///< quantized level count when deployed
+    float learning_rate = 0.1f;
+    float momentum = 0.9f;
+    float alpha_lr_scale = 0.01f; ///< PACT alpha learns more slowly
+    /// L2 decay on alpha: PACT regularizes the clip value so it
+    /// shrinks toward the live activation range instead of idling
+    /// above it (keeps the quantization grid dense).
+    float alpha_decay = 0.05f;
+    uint64_t seed = 1234;
+};
+
+/**
+ * Fully connected classifier with PACT-ReLU hidden activations and a
+ * softmax cross-entropy head.
+ */
+class Mlp
+{
+  public:
+    explicit Mlp(const MlpConfig &cfg);
+
+    /** Forward pass at the configured training precision. */
+    Tensor forward(const Tensor &x);
+
+    /** One SGD step on a minibatch; returns the batch loss. */
+    float trainStep(const Tensor &x, const std::vector<int> &labels);
+
+    /** Run @p epochs of minibatch SGD over @p train. */
+    void train(const Dataset &train, int epochs, int64_t batch_size);
+
+    /** Classification accuracy at the configured precision. */
+    double evaluate(const Dataset &test);
+
+    /**
+     * Deploy-time INT quantized inference: SaWB-quantized weights and
+     * PACT-quantized activations through the FXU executor at
+     * @p width bits. First and last layers stay FP16, mirroring the
+     * precision-assignment rule the compiler applies on RaPiD.
+     */
+    double evaluateInt(const Dataset &test, unsigned width,
+                       bool keep_edges_fp16 = true);
+
+    /** Learned PACT clip value of hidden layer @p i. */
+    float pactAlpha(size_t i) const;
+
+    size_t numLayers() const { return layers_.size(); }
+
+  private:
+    struct Dense
+    {
+        Tensor w;       ///< (out, in) FP32 master weights
+        Tensor b;       ///< (out)
+        Tensor w_vel;   ///< momentum buffers
+        Tensor b_vel;
+        Tensor x_cache; ///< forward input, reduced-precision view
+        Tensor w_grad;
+        Tensor b_grad;
+        float alpha;        ///< PACT clip (hidden layers only)
+        float alpha_vel = 0.0f;
+        float alpha_grad = 0.0f;
+        Tensor pre_act;     ///< pre-activation cache
+    };
+
+    Tensor denseForward(Dense &d, const Tensor &x);
+    Tensor denseBackward(Dense &d, const Tensor &dy);
+    Tensor gemm(const Tensor &a, Fp8Kind a_kind, const Tensor &b,
+                Fp8Kind b_kind) const;
+    void applyUpdates(Dense &d);
+
+    MlpConfig cfg_;
+    std::vector<Dense> layers_;
+    Rng rng_;
+};
+
+/** Result of a precision-parity experiment. */
+struct ParityResult
+{
+    double baseline_accuracy;  ///< FP32 training / FP32 inference
+    double reduced_accuracy;   ///< reduced-precision counterpart
+    double gap() const { return baseline_accuracy - reduced_accuracy; }
+};
+
+/**
+ * Train two identically seeded MLPs, one at FP32 and one at
+ * @p precision, and compare test accuracy (the Section II-B claim).
+ */
+ParityResult runTrainingParity(TrainPrecision precision,
+                               const Dataset &train, const Dataset &test,
+                               int epochs = 30, int64_t batch = 32);
+
+/**
+ * Train at FP32 with PACT, then evaluate FP32 vs INT-@p width
+ * PACT/SaWB inference (the Section II-C claim).
+ */
+ParityResult runInferenceParity(unsigned width, const Dataset &train,
+                                const Dataset &test, int epochs = 30,
+                                int64_t batch = 32);
+
+} // namespace rapid
+
+#endif // RAPID_FUNC_TRAINER_HH

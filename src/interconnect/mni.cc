@@ -1,0 +1,137 @@
+#include "interconnect/mni.hh"
+
+#include <algorithm>
+
+namespace rapid {
+
+MniFabric::MniFabric(const RingConfig &ring_cfg, const MniConfig &mni_cfg)
+    : ring_(ring_cfg), cfg_(mni_cfg),
+      outstanding_(ring_cfg.num_nodes, 0)
+{
+}
+
+unsigned
+MniFabric::outstandingLoads(unsigned consumer) const
+{
+    rapid_assert(consumer < outstanding_.size(), "bad consumer node");
+    return outstanding_[consumer];
+}
+
+bool
+MniFabric::recv(unsigned consumer, unsigned producer, uint64_t tag,
+                uint64_t bytes, uint64_t local_addr,
+                unsigned n_consumers)
+{
+    rapid_assert(consumer != producer, "self transfers do not use MNI");
+    if (outstanding_[consumer] >= cfg_.max_outstanding_loads)
+        return false; // MNI-LU program stalls (Section III-E)
+    ++outstanding_[consumer];
+    ++open_transfers_;
+
+    // The Recv control message travels to the producer on the ring.
+    Tracked t;
+    t.kind = Tracked::Kind::RecvRequest;
+    t.producer = producer;
+    t.tag = tag;
+    t.consumer = consumer;
+    t.local_addr = local_addr;
+    t.n_consumers = n_consumers;
+    t.ring_id = ring_.send(consumer, {producer}, cfg_.request_bytes,
+                           tag);
+    tracked_.push_back(t);
+
+    auto &ps = pending_[{producer, tag}];
+    ps.bytes = std::max(ps.bytes, bytes);
+    ps.expected = n_consumers;
+    return true;
+}
+
+void
+MniFabric::send(unsigned producer, uint64_t tag, uint64_t bytes,
+                unsigned n_consumers)
+{
+    auto &ps = pending_[{producer, tag}];
+    ps.bytes = std::max(ps.bytes, bytes);
+    ps.expected = n_consumers;
+    ps.send_posted = true;
+    maybeLaunchData(producer, tag);
+}
+
+void
+MniFabric::maybeLaunchData(unsigned producer, uint64_t tag)
+{
+    auto it = pending_.find({producer, tag});
+    if (it == pending_.end())
+        return;
+    PendingSend &ps = it->second;
+    // Memory is always ready: its Send auto-posts on first request.
+    if (producer == memoryNode())
+        ps.send_posted = true;
+    if (!ps.send_posted || ps.consumers.size() < ps.expected)
+        return;
+
+    // Request aggregation complete: post one multicast data transfer
+    // with the dynamically built consumer list (Figure 8, steps 4-7).
+    Tracked t;
+    t.kind = Tracked::Kind::Data;
+    t.producer = producer;
+    t.tag = tag;
+    t.ring_id = ring_.send(producer, ps.consumers, ps.bytes, tag);
+    tracked_.push_back(t);
+}
+
+void
+MniFabric::processDelivered()
+{
+    // Index loop: handlers can append to tracked_ (data launches).
+    for (size_t ti = 0; ti < tracked_.size(); ++ti) {
+        Tracked &t = tracked_[ti];
+        if (t.handled || !ring_.message(t.ring_id).delivered)
+            continue;
+        t.handled = true;
+        if (t.kind == Tracked::Kind::RecvRequest) {
+            // Request arrived at the producer's MNI-SU: aggregate.
+            auto &ps = pending_[{t.producer, t.tag}];
+            ps.consumers.push_back(t.consumer);
+            ps.consumer_addrs.push_back(t.local_addr);
+            maybeLaunchData(t.producer, t.tag);
+        } else {
+            // Data landed at every consumer: retire the load-queue
+            // entries, writing each consumer's tracked local address.
+            auto &ps = pending_[{t.producer, t.tag}];
+            for (size_t i = 0; i < ps.consumers.size(); ++i) {
+                MniCompletion c;
+                c.tag = t.tag;
+                c.consumer = ps.consumers[i];
+                c.local_addr = ps.consumer_addrs[i];
+                c.cycle = ring_.now();
+                completions_.push_back(c);
+                rapid_assert(outstanding_[c.consumer] > 0,
+                             "load queue underflow");
+                --outstanding_[c.consumer];
+                --open_transfers_;
+            }
+            pending_.erase({t.producer, t.tag});
+        }
+    }
+}
+
+void
+MniFabric::step()
+{
+    ring_.step();
+    processDelivered();
+}
+
+void
+MniFabric::drain(uint64_t max_cycles)
+{
+    uint64_t steps = 0;
+    while (open_transfers_ > 0) {
+        step();
+        rapid_assert(++steps <= max_cycles,
+                     "MNI failed to drain in ", max_cycles, " cycles");
+    }
+}
+
+} // namespace rapid

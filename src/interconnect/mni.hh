@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Memory-Neighbor Interface model (Section III-E, Figure 8). Each
+ * core's MNI has a programmable load unit (MNI-LU) and store unit
+ * (MNI-SU):
+ *
+ *  - Consumers issue tagged Recv requests naming the producer and the
+ *    number of participating consumers (steps 1-2 of Figure 8).
+ *  - The producer's MNI-SU performs *request aggregation*: once every
+ *    participating consumer's request has arrived and the producer's
+ *    program has posted the matching Send, it dynamically builds the
+ *    consumer list and posts one multicast data transfer (steps 3-7).
+ *  - The MNI-LU tracks the local scratchpad address per tag in its
+ *    load queue, so data returns may complete out of order; it stalls
+ *    when its outstanding-request limit is reached.
+ *
+ * The external memory interface is modelled as a ring node whose
+ * MNI-SU auto-posts Sends (memory is always ready), with the same
+ * request-aggregation support so that shared data is fetched once and
+ * multicast to all requesting cores.
+ */
+
+#ifndef RAPID_INTERCONNECT_MNI_HH
+#define RAPID_INTERCONNECT_MNI_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "interconnect/ring.hh"
+
+namespace rapid {
+
+/** MNI sizing parameters. */
+struct MniConfig
+{
+    unsigned max_outstanding_loads = 16; ///< per-core load queue depth
+    uint64_t request_bytes = 32;         ///< Recv control message size
+};
+
+/** A completed tagged transfer as seen by one consumer. */
+struct MniCompletion
+{
+    uint64_t tag = 0;
+    unsigned consumer = 0;
+    uint64_t local_addr = 0; ///< scratchpad address from the load queue
+    uint64_t cycle = 0;
+};
+
+/**
+ * Transaction-level MNI fabric: all cores' MNI units plus the memory
+ * interface, exchanging control and data messages over the cycle-level
+ * ring.
+ */
+class MniFabric
+{
+  public:
+    /**
+     * @param ring_cfg Ring geometry; node (num_nodes - 1) is the
+     *                 external memory interface.
+     * @param mni_cfg MNI sizing.
+     */
+    MniFabric(const RingConfig &ring_cfg, const MniConfig &mni_cfg);
+
+    unsigned memoryNode() const { return ring_.config().num_nodes - 1; }
+
+    /**
+     * Consumer-side Recv: request @p bytes tagged @p tag from
+     * @p producer, to be written at @p local_addr. @p n_consumers is
+     * the multicast group size agreed on at compile time.
+     *
+     * @return false if the consumer's load queue is full (the MNI-LU
+     *         program stalls and must retry after step()).
+     */
+    bool recv(unsigned consumer, unsigned producer, uint64_t tag,
+              uint64_t bytes, uint64_t local_addr,
+              unsigned n_consumers = 1);
+
+    /**
+     * Producer-side Send: the producer's program makes @p bytes of
+     * data tagged @p tag available for @p n_consumers consumers.
+     */
+    void send(unsigned producer, uint64_t tag, uint64_t bytes,
+              unsigned n_consumers);
+
+    /** Advance one cycle (ring + MNI bookkeeping). */
+    void step();
+
+    /** Run until every posted transfer completed. */
+    void drain(uint64_t max_cycles = 100000000);
+
+    uint64_t now() const { return ring_.now(); }
+    const std::vector<MniCompletion> &completions() const
+    {
+        return completions_;
+    }
+
+    /** Outstanding loads for @p consumer (for stall tests). */
+    unsigned outstandingLoads(unsigned consumer) const;
+
+    const RingNetwork &ring() const { return ring_; }
+
+  private:
+    /** Aggregation entry at a producer's MNI-SU. */
+    struct PendingSend
+    {
+        uint64_t bytes = 0;
+        unsigned expected = 0;
+        bool send_posted = false;
+        std::vector<unsigned> consumers;      ///< aggregated list
+        std::vector<uint64_t> consumer_addrs; ///< matching local addrs
+    };
+
+    /** A control or data message in flight on the ring. */
+    struct Tracked
+    {
+        enum class Kind { RecvRequest, Data } kind;
+        size_t ring_id;
+        unsigned producer;
+        uint64_t tag;
+        unsigned consumer = 0;       ///< for RecvRequest
+        uint64_t local_addr = 0;     ///< for RecvRequest
+        unsigned n_consumers = 1;    ///< for RecvRequest
+        bool handled = false;
+    };
+
+    void maybeLaunchData(unsigned producer, uint64_t tag);
+    void processDelivered();
+
+    RingNetwork ring_;
+    MniConfig cfg_;
+    /// (producer, tag) -> aggregation state.
+    std::map<std::pair<unsigned, uint64_t>, PendingSend> pending_;
+    std::vector<Tracked> tracked_;
+    std::vector<MniCompletion> completions_;
+    std::vector<unsigned> outstanding_; ///< per consumer
+    uint64_t open_transfers_ = 0;
+};
+
+} // namespace rapid
+
+#endif // RAPID_INTERCONNECT_MNI_HH

@@ -1,0 +1,170 @@
+#include "interconnect/ring.hh"
+
+#include <algorithm>
+
+namespace rapid {
+
+RingNetwork::RingNetwork(const RingConfig &cfg) : cfg_(cfg)
+{
+    rapid_assert(cfg.num_nodes >= 2, "ring needs >= 2 nodes");
+    cw_.pipes.resize(cfg.num_nodes);
+    ccw_.pipes.resize(cfg.num_nodes);
+}
+
+unsigned
+RingNetwork::hopDistance(unsigned src, unsigned dst, RingDir dir) const
+{
+    const unsigned n = cfg_.num_nodes;
+    rapid_assert(src < n && dst < n, "ring node out of range");
+    if (dir == RingDir::Clockwise)
+        return (dst + n - src) % n;
+    return (src + n - dst) % n;
+}
+
+RingDir
+RingNetwork::chooseDirection(unsigned src,
+                             const std::vector<unsigned> &dsts) const
+{
+    unsigned max_cw = 0, max_ccw = 0;
+    for (unsigned d : dsts) {
+        max_cw = std::max(max_cw,
+                          hopDistance(src, d, RingDir::Clockwise));
+        max_ccw = std::max(
+            max_ccw, hopDistance(src, d, RingDir::CounterClockwise));
+    }
+    return max_cw <= max_ccw ? RingDir::Clockwise
+                             : RingDir::CounterClockwise;
+}
+
+size_t
+RingNetwork::send(unsigned src, std::vector<unsigned> dsts,
+                  uint64_t bytes, uint64_t tag)
+{
+    rapid_assert(!dsts.empty(), "message without destinations");
+    rapid_assert(src < cfg_.num_nodes, "bad source node");
+    for (unsigned d : dsts)
+        rapid_assert(d < cfg_.num_nodes && d != src,
+                     "bad destination node ", d);
+
+    RingMessage msg;
+    msg.src = src;
+    msg.dsts = std::move(dsts);
+    msg.bytes = bytes;
+    msg.tag = tag;
+    msg.issue_cycle = cycle_;
+    const size_t id = messages_.size();
+    messages_.push_back(std::move(msg));
+    pending_tails_.push_back(unsigned(messages_[id].dsts.size()));
+
+    InFlight fl;
+    fl.id = id;
+    fl.dir = chooseDirection(src, messages_[id].dsts);
+    fl.flits_total =
+        std::max<uint64_t>(1, (bytes + cfg_.bytes_per_flit - 1) /
+                                  cfg_.bytes_per_flit);
+    for (unsigned d : messages_[id].dsts)
+        fl.max_hops =
+            std::max(fl.max_hops, hopDistance(src, d, fl.dir));
+    inflight_.push_back(fl);
+    const size_t fl_idx = inflight_.size() - 1;
+    if (fl.dir == RingDir::Clockwise)
+        cw_.queue.push_back(fl_idx);
+    else
+        ccw_.queue.push_back(fl_idx);
+    return id;
+}
+
+void
+RingNetwork::stepDirection(DirState &st, RingDir dir)
+{
+    const unsigned n = cfg_.num_nodes;
+
+    // Phase 1: advance the head flit of every node one hop, based on
+    // the pre-step queues so a flit moves at most once per cycle.
+    std::vector<Flit> moved;
+    std::vector<unsigned> from;
+    moved.reserve(n);
+    for (unsigned node = 0; node < n; ++node) {
+        if (st.pipes[node].empty())
+            continue;
+        moved.push_back(st.pipes[node].front());
+        from.push_back(node);
+        st.pipes[node].pop_front();
+    }
+    for (size_t i = 0; i < moved.size(); ++i) {
+        Flit f = moved[i];
+        const unsigned node = from[i];
+        const unsigned next = (dir == RingDir::Clockwise)
+                                  ? (node + 1) % n
+                                  : (node + n - 1) % n;
+        ++flit_hops_;
+        --f.hops_left;
+        RingMessage &m = messages_[f.msg_id];
+        // Multicast delivery: the flit is copied to every destination
+        // it passes and terminates at the furthest one.
+        bool is_dst =
+            std::find(m.dsts.begin(), m.dsts.end(), next) !=
+            m.dsts.end();
+        if (is_dst && f.tail && --pending_tails_[f.msg_id] == 0) {
+            m.delivered = true;
+            m.complete_cycle = cycle_ + 1;
+        }
+        if (f.hops_left > 0)
+            st.pipes[next].push_back(f);
+    }
+
+    // Phase 2: inject one flit of the active message at its source.
+    if (!st.busy && !st.queue.empty()) {
+        st.active = st.queue.front();
+        st.queue.pop_front();
+        st.busy = true;
+    }
+    if (st.busy) {
+        InFlight &fl = inflight_[st.active];
+        RingMessage &m = messages_[fl.id];
+        Flit f;
+        f.msg_id = fl.id;
+        f.hops_left = fl.max_hops;
+        f.tail = (fl.flits_sent + 1 == fl.flits_total);
+        st.pipes[m.src].push_back(f);
+        if (++fl.flits_sent == fl.flits_total)
+            st.busy = false;
+    }
+}
+
+void
+RingNetwork::step()
+{
+    stepDirection(cw_, RingDir::Clockwise);
+    stepDirection(ccw_, RingDir::CounterClockwise);
+    ++cycle_;
+}
+
+void
+RingNetwork::drain(uint64_t max_cycles)
+{
+    uint64_t steps = 0;
+    while (!allDelivered()) {
+        step();
+        rapid_assert(++steps <= max_cycles,
+                     "ring failed to drain in ", max_cycles, " cycles");
+    }
+}
+
+bool
+RingNetwork::allDelivered() const
+{
+    for (const auto &m : messages_)
+        if (!m.delivered)
+            return false;
+    return true;
+}
+
+const RingMessage &
+RingNetwork::message(size_t id) const
+{
+    rapid_assert(id < messages_.size(), "bad message id ", id);
+    return messages_[id];
+}
+
+} // namespace rapid

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Cycle-level model of the bi-directional ring interconnect
+ * (Section III-E, Figure 9). Cores and the memory interface sit on a
+ * clockwise and a counter-clockwise ring, each moving one
+ * 128-byte flit per link per cycle. Messages are wormhole-routed in
+ * the direction with the shortest lead distance and may be multicast:
+ * a flit is copied to every destination it passes, so a multicast to
+ * n cores costs one traversal instead of n unicasts.
+ */
+
+#ifndef RAPID_INTERCONNECT_RING_HH
+#define RAPID_INTERCONNECT_RING_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace rapid {
+
+/** Ring geometry and link width. */
+struct RingConfig
+{
+    unsigned num_nodes = 5;        ///< cores + memory interface node
+    unsigned bytes_per_flit = 128; ///< link width per cycle
+};
+
+/** Direction of travel on the ring. */
+enum class RingDir
+{
+    Clockwise,
+    CounterClockwise,
+};
+
+/** A (possibly multicast) ring message. */
+struct RingMessage
+{
+    unsigned src = 0;
+    std::vector<unsigned> dsts;
+    uint64_t bytes = 0;
+    uint64_t tag = 0;
+
+    uint64_t issue_cycle = 0;    ///< when handed to the ring
+    uint64_t complete_cycle = 0; ///< when the last dst got the tail
+    bool delivered = false;
+};
+
+/**
+ * Cycle-stepped bi-directional ring. Callers enqueue messages and
+ * step the clock; delivered messages report their completion cycle.
+ *
+ * The model simulates individual flits, so it is meant for protocol
+ * validation and latency/bandwidth studies at modest transfer sizes;
+ * the analytical performance model uses closed-form ring bandwidth.
+ */
+class RingNetwork
+{
+  public:
+    explicit RingNetwork(const RingConfig &cfg);
+
+    const RingConfig &config() const { return cfg_; }
+
+    /**
+     * Enqueue a message. Returns an id used to query completion.
+     * Destination list must be non-empty and exclude the source.
+     */
+    size_t send(unsigned src, std::vector<unsigned> dsts,
+                uint64_t bytes, uint64_t tag = 0);
+
+    /** Advance one ring cycle. */
+    void step();
+
+    /** Run until all queued messages are delivered (bounded). */
+    void drain(uint64_t max_cycles = 100000000);
+
+    bool allDelivered() const;
+    uint64_t now() const { return cycle_; }
+
+    const RingMessage &message(size_t id) const;
+
+    /** Total flit-hops moved (traffic measure for multicast tests). */
+    uint64_t flitHopsMoved() const { return flit_hops_; }
+
+    /** Choose the direction minimizing the furthest hop distance. */
+    RingDir chooseDirection(unsigned src,
+                            const std::vector<unsigned> &dsts) const;
+
+    /** Hop distance from @p src to @p dst travelling @p dir. */
+    unsigned hopDistance(unsigned src, unsigned dst, RingDir dir) const;
+
+  private:
+    struct Flit
+    {
+        size_t msg_id;
+        unsigned hops_left; ///< hops to the furthest destination
+        bool tail;
+    };
+
+    struct InFlight
+    {
+        size_t id;
+        RingDir dir;
+        uint64_t flits_total;
+        uint64_t flits_sent = 0;
+        unsigned max_hops = 0;
+    };
+
+    /** Per-direction state: injection queue + node output pipes. */
+    struct DirState
+    {
+        std::deque<size_t> queue; ///< in-flight indices awaiting inject
+        bool busy = false;
+        size_t active = 0;        ///< index into inflight_
+        std::vector<std::deque<Flit>> pipes; ///< per-node output queue
+    };
+
+    void stepDirection(DirState &st, RingDir dir);
+
+    RingConfig cfg_;
+    uint64_t cycle_ = 0;
+    uint64_t flit_hops_ = 0;
+    std::vector<RingMessage> messages_;
+    std::vector<unsigned> pending_tails_; ///< per message
+    std::vector<InFlight> inflight_;
+    DirState cw_;
+    DirState ccw_;
+};
+
+} // namespace rapid
+
+#endif // RAPID_INTERCONNECT_RING_HH

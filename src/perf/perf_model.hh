@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Analytical performance model of the RaPiD chip and multi-chip
+ * systems, the software counterpart of the silicon-calibrated model
+ * the paper evaluates with (Section V-A). Produces per-layer cycle
+ * breakdowns in the four categories of Figure 17 (Conv/GEMM,
+ * Conv/GEMM overheads, quantization, auxiliary) plus memory stalls,
+ * and end-to-end latency/throughput for inference and training.
+ */
+
+#ifndef RAPID_PERF_PERF_MODEL_HH
+#define RAPID_PERF_PERF_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "compiler/dataflow.hh"
+#include "perf/plan.hh"
+#include "workloads/layer.hh"
+
+namespace rapid {
+
+/** Compute-cycle breakdown in Figure 17's categories. */
+struct CycleBreakdown
+{
+    double conv_gemm = 0;  ///< streaming FMMA cycles on the MPE array
+    double overhead = 0;   ///< residue underuse, block-loads, imbalance
+    double quantization = 0; ///< FP16 <-> INT conversions on the SFU
+    double aux = 0;        ///< activation/norm/pool/shuffle on the SFU
+    double mem_stall = 0;  ///< cycles exposed by DRAM bandwidth
+
+    double
+    busy() const
+    {
+        return conv_gemm + overhead + quantization + aux;
+    }
+
+    double total() const { return busy() + mem_stall; }
+
+    CycleBreakdown &operator+=(const CycleBreakdown &o);
+};
+
+/** Per-layer performance result. */
+struct LayerPerf
+{
+    std::string name;
+    LayerType type;
+    Precision precision = Precision::FP16;
+    double macs = 0;       ///< total MACs including batch
+    CycleBreakdown cycles;
+    double mem_bytes = 0;  ///< DRAM traffic
+    double utilization = 0;
+    double seconds = 0;    ///< wall time including throttle effects
+};
+
+/** Whole-network inference performance. */
+struct NetworkPerf
+{
+    std::string network;
+    int64_t batch = 1;
+    std::vector<LayerPerf> layers;
+    CycleBreakdown breakdown;
+    double total_seconds = 0;
+    double total_macs = 0;
+    double mem_bytes = 0;
+
+    double samplesPerSecond() const { return batch / total_seconds; }
+
+    /** Sustained tera-ops/s (2 ops per MAC). */
+    double
+    sustainedTops() const
+    {
+        return 2.0 * total_macs / total_seconds / 1e12;
+    }
+};
+
+/** Inference performance model for a single chip. */
+class PerfModel
+{
+  public:
+    explicit PerfModel(const ChipConfig &chip);
+
+    const ChipConfig &chip() const { return chip_; }
+
+    /**
+     * Evaluate inference of @p net under @p plan at @p batch.
+     * @p plan must align with net.layers.
+     */
+    NetworkPerf evaluate(const Network &net, const ExecutionPlan &plan,
+                         int64_t batch = 1) const;
+
+    /** Per-layer evaluation (exposed for tests and the compiler). */
+    LayerPerf evaluateLayer(const Layer &layer, const LayerPlan &plan,
+                            int64_t batch, bool weights_resident) const;
+
+    /** True if the network's weights fit in the aggregate L1. */
+    bool weightsFitOnChip(const Network &net,
+                          const ExecutionPlan &plan) const;
+
+    /** Chip-wide SFU throughput in elements per cycle. */
+    double sfuElementsPerCycle() const;
+
+    /**
+     * Cycles to push @p elems elements through the SFU arrays at
+     * @p ops_per_elem operations each. SFU work is bounded both by
+     * the SIMD lanes and by the L1 bandwidth needed to stream the
+     * operand in and the result out (FP16 each way).
+     */
+    double sfuCycles(double elems, double ops_per_elem) const;
+
+  private:
+    ChipConfig chip_;
+    DataflowMapper mapper_;
+};
+
+/** Training-system performance result. */
+struct TrainingPerf
+{
+    std::string network;
+    Precision precision = Precision::FP16;
+    int64_t minibatch = 512;
+    double compute_seconds = 0; ///< fwd+bwd on the slowest chip
+    double comm_seconds = 0;    ///< exposed gradient/weight exchange
+    double step_seconds = 0;
+
+    double
+    samplesPerSecond() const
+    {
+        return minibatch / step_seconds;
+    }
+
+    double total_macs = 0; ///< fwd+bwd MACs for the whole minibatch
+
+    double
+    sustainedTops() const
+    {
+        return 2.0 * total_macs / step_seconds / 1e12;
+    }
+};
+
+/**
+ * Data-parallel training model for multi-chip RaPiD systems
+ * (Section IV-A / Figure 11): per-step forward+backward compute on
+ * each chip's share of the minibatch, plus ring-based gradient
+ * reduction and (8-bit when HFP8) weight broadcast over the
+ * chip-to-chip links, partially overlapped with the backward pass.
+ */
+class TrainingPerfModel
+{
+  public:
+    explicit TrainingPerfModel(const SystemConfig &sys);
+
+    TrainingPerf evaluate(const Network &net, Precision precision,
+                          int64_t minibatch = 512) const;
+
+    /** Fraction of communication hidden under backward compute. */
+    static constexpr double kCommOverlap = 0.5;
+
+  private:
+    SystemConfig sys_;
+};
+
+} // namespace rapid
+
+#endif // RAPID_PERF_PERF_MODEL_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The execution plan the graph compiler hands to the performance
+ * model: a per-layer precision assignment plus the sparsity-aware
+ * frequency-throttle level (Sections III-C and IV-B).
+ */
+
+#ifndef RAPID_PERF_PLAN_HH
+#define RAPID_PERF_PLAN_HH
+
+#include <vector>
+
+#include "precision/precision.hh"
+#include "workloads/layer.hh"
+
+namespace rapid {
+
+/** Compiler decisions for one layer. */
+struct LayerPlan
+{
+    Precision precision = Precision::FP16;
+    /// Effective-frequency multiplier from sparsity-aware throttling
+    /// relative to the dense envelope-limited frequency (>= 1 means
+    /// the layer runs faster than the dense baseline would allow).
+    double throttle = 1.0;
+};
+
+/** Whole-network execution plan, aligned with Network::layers. */
+struct ExecutionPlan
+{
+    std::vector<LayerPlan> layers;
+
+    const LayerPlan &
+    at(size_t i) const
+    {
+        rapid_assert(i < layers.size(), "plan index ", i, " out of ",
+                     layers.size());
+        return layers[i];
+    }
+};
+
+} // namespace rapid
+
+#endif // RAPID_PERF_PLAN_HH

@@ -1,0 +1,123 @@
+#include "power/characterization.hh"
+
+#include "common/logging.hh"
+
+namespace rapid {
+
+namespace {
+
+/** Figure 10 efficiency anchors for the 4-core chip, T(FL)OPS/W. */
+struct EffAnchor
+{
+    Precision p;
+    double eff_low_freq;  ///< at 1.0 GHz / 0.55 V
+    double eff_high_freq; ///< at 1.6 GHz / 0.75 V
+};
+
+constexpr EffAnchor kAnchors[] = {
+    {Precision::FP16, 1.80, 0.98},
+    {Precision::HFP8, 3.50, 1.90},
+    {Precision::INT4, 16.50, 8.90},
+};
+
+} // namespace
+
+SiliconCharacterization::SiliconCharacterization(const ChipConfig &chip)
+    : chip_(chip)
+{
+    solveCoefficients();
+}
+
+double
+SiliconCharacterization::voltageAt(double f_ghz) const
+{
+    rapid_assert(f_ghz >= kMinFreqGhz - 1e-9 &&
+                 f_ghz <= kMaxFreqGhz + 1e-9,
+                 "frequency ", f_ghz, " GHz outside the admissible ",
+                 kMinFreqGhz, "-", kMaxFreqGhz, " GHz range");
+    const double t = (f_ghz - kMinFreqGhz) / (kMaxFreqGhz - kMinFreqGhz);
+    return kMinVoltage + t * (kMaxVoltage - kMinVoltage);
+}
+
+double
+SiliconCharacterization::peakOps(Precision p, double f_ghz) const
+{
+    ChipConfig at_f = chip_;
+    at_f.core_freq_ghz = f_ghz;
+    return at_f.peakOpsPerSecond(p);
+}
+
+void
+SiliconCharacterization::solveCoefficients()
+{
+    // Solve each A(p) from the high-frequency anchor, with leakage
+    // fixed; the low-frequency anchor is then reproduced within <1%
+    // (asserted by tests). The anchors describe the 4-core chip;
+    // power scales with the core count for scaled chips.
+    const double scale = double(chip_.cores) / 4.0;
+    const double f2 = kMaxFreqGhz;
+    const double v2 = kMaxVoltage;
+
+    auto solve = [&](Precision p, double eff_high) {
+        // Reference 4-core peak ops at f2.
+        ChipConfig ref = chip_;
+        ref.cores = 4;
+        ref.core_freq_ghz = f2;
+        const double tops = ref.peakOpsPerSecond(p) / 1e12;
+        const double power = tops / eff_high; // 4-core watts
+        return (power - kLeakCoeff * v2 * v2) / (v2 * v2 * f2);
+    };
+
+    double a_fp16 = 0, a_hfp8 = 0, a_int4 = 0;
+    for (const auto &a : kAnchors) {
+        double coeff = solve(a.p, a.eff_high_freq);
+        switch (a.p) {
+          case Precision::FP16: a_fp16 = coeff; break;
+          case Precision::HFP8: a_hfp8 = coeff; break;
+          case Precision::INT4: a_int4 = coeff; break;
+          default: break;
+        }
+    }
+    coeff_fp16_ = a_fp16 * scale;
+    coeff_hfp8_ = a_hfp8 * scale;
+    coeff_int4_ = a_int4 * scale;
+    // INT2 is future work in the paper; the doubled INT2 engines toggle
+    // slightly more than INT4 at the same data rate.
+    coeff_int2_ = a_int4 * 1.05 * scale;
+}
+
+double
+SiliconCharacterization::dynamicCoeff(Precision p) const
+{
+    switch (p) {
+      case Precision::FP16: return coeff_fp16_;
+      case Precision::HFP8: return coeff_hfp8_;
+      case Precision::INT4: return coeff_int4_;
+      case Precision::INT2: return coeff_int2_;
+      case Precision::FP32: return coeff_fp16_; // SFU-resident mode
+    }
+    return coeff_fp16_;
+}
+
+double
+SiliconCharacterization::leakagePower(double f_ghz) const
+{
+    const double v = voltageAt(f_ghz);
+    const double scale = double(chip_.cores) / 4.0;
+    return kLeakCoeff * v * v * scale;
+}
+
+double
+SiliconCharacterization::peakPower(Precision p, double f_ghz) const
+{
+    const double v = voltageAt(f_ghz);
+    return dynamicCoeff(p) * v * v * f_ghz + leakagePower(f_ghz);
+}
+
+double
+SiliconCharacterization::peakEfficiency(Precision p, double f_ghz) const
+{
+    return peakOps(p, f_ghz) / 1e12 / peakPower(p, f_ghz);
+}
+
+} // namespace rapid

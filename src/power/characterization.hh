@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Silicon power/voltage/frequency characterization of the RaPiD chip
+ * (Section III-C.2: "we measured power as a function of voltage, and
+ * determined the frequency in the admissible voltage range").
+ *
+ * We cannot measure a chip, so the characterization is *solved from
+ * the numbers the paper publishes* (Figure 10): peak throughput
+ * 8-12.8 / 16-25.6 / 64-102.4 T(FL)OPS and efficiency 1.8-0.98 /
+ * 3.5-1.9 / 16.5-8.9 T(FL)OPS/W over the 1.0-1.6 GHz (0.55-0.75 V)
+ * operating range, using the standard CMOS power form
+ *
+ *     P(p, f) = A(p) * V(f)^2 * f  +  L * V(f)^2
+ *
+ * with a per-precision effective switched capacitance A(p) and a
+ * shared leakage coefficient L. A test asserts the solved model
+ * reproduces every Figure 10 entry within 2%.
+ */
+
+#ifndef RAPID_POWER_CHARACTERIZATION_HH
+#define RAPID_POWER_CHARACTERIZATION_HH
+
+#include "arch/config.hh"
+#include "precision/precision.hh"
+
+namespace rapid {
+
+/** Solved V/f/power characterization for a chip configuration. */
+class SiliconCharacterization
+{
+  public:
+    explicit SiliconCharacterization(const ChipConfig &chip);
+
+    /// Published operating range (Figure 10).
+    static constexpr double kMinFreqGhz = 1.0;
+    static constexpr double kMaxFreqGhz = 1.6;
+    static constexpr double kMinVoltage = 0.55;
+    static constexpr double kMaxVoltage = 0.75;
+
+    /// Shared leakage coefficient (W per V^2).
+    static constexpr double kLeakCoeff = 0.33;
+
+    /** Supply voltage required for @p f_ghz (linear V/f grade). */
+    double voltageAt(double f_ghz) const;
+
+    /** Effective switched capacitance A(p) in W / (V^2 * GHz). */
+    double dynamicCoeff(Precision p) const;
+
+    /** Chip power running dense at peak in mode @p p at @p f_ghz. */
+    double peakPower(Precision p, double f_ghz) const;
+
+    /** Peak ops/s at @p f_ghz (from the architecture algebra). */
+    double peakOps(Precision p, double f_ghz) const;
+
+    /** Peak efficiency in T(FL)OPS/W at @p f_ghz. */
+    double peakEfficiency(Precision p, double f_ghz) const;
+
+    /** Leakage power at @p f_ghz's voltage grade. */
+    double leakagePower(double f_ghz) const;
+
+    const ChipConfig &chip() const { return chip_; }
+
+  private:
+    void solveCoefficients();
+
+    ChipConfig chip_;
+    double coeff_fp16_ = 0;
+    double coeff_hfp8_ = 0;
+    double coeff_int4_ = 0;
+    double coeff_int2_ = 0;
+};
+
+} // namespace rapid
+
+#endif // RAPID_POWER_CHARACTERIZATION_HH

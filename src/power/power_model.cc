@@ -1,0 +1,120 @@
+#include "power/power_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rapid {
+
+PowerModel::PowerModel(const ChipConfig &chip, double f_ghz)
+    : chip_(chip), si_(chip),
+      freq_ghz_(f_ghz > 0 ? f_ghz : chip.core_freq_ghz)
+{
+}
+
+double
+PowerModel::baseCoeff() const
+{
+    return kBaseCoeff4Core * chip_.cores / 4.0;
+}
+
+double
+PowerModel::sfuCoeff() const
+{
+    return kSfuCoeff4Core * chip_.cores / 4.0;
+}
+
+double
+PowerModel::mpeCoeff(Precision p) const
+{
+    return std::max(0.0, si_.dynamicCoeff(p) - baseCoeff());
+}
+
+double
+PowerModel::layerPower(const LayerPerf &layer_perf,
+                       double weight_sparsity) const
+{
+    const double v = si_.voltageAt(freq_ghz_);
+    const double vvf = v * v * freq_ghz_;
+    const double total = layer_perf.cycles.total();
+    if (total <= 0)
+        return si_.leakagePower(freq_ghz_) + baseCoeff() * vvf;
+
+    // MPE activity: the ideal streaming cycles are the fraction of
+    // time the MAC arrays toggle at full rate; overhead cycles keep
+    // roughly half the datapath busy (operand movement, block loads).
+    const double act_mpe = (layer_perf.cycles.conv_gemm +
+                            0.5 * layer_perf.cycles.overhead) / total;
+    const double act_sfu =
+        (layer_perf.cycles.quantization + layer_perf.cycles.aux) /
+        total;
+
+    // Zero-gating credit: ambient activation sparsity plus pruned
+    // weight sparsity (independent operands; a gated FMA needs only
+    // one zero operand).
+    const double zero_frac =
+        1.0 - (1.0 - kActivationSparsity) * (1.0 - weight_sparsity);
+    const double gate_scale = 1.0 - kZeroGateEffect * zero_frac;
+
+    PowerBreakdown pb;
+    pb.base = baseCoeff() * vvf;
+    pb.mpe = mpeCoeff(layer_perf.precision) * act_mpe * gate_scale *
+             vvf;
+    pb.sfu = sfuCoeff() * std::min(1.0, act_sfu) * vvf;
+    pb.leakage = si_.leakagePower(freq_ghz_);
+    return pb.total();
+}
+
+EnergyReport
+PowerModel::evaluate(const NetworkPerf &perf, const Network &net) const
+{
+    rapid_assert(perf.layers.size() == net.layers.size(),
+                 "perf/network mismatch in power evaluation");
+    EnergyReport report;
+    double base_e = 0, mpe_e = 0, sfu_e = 0, leak_e = 0;
+    const double v = si_.voltageAt(freq_ghz_);
+    const double vvf = v * v * freq_ghz_;
+
+    // Wall time scales with the model frequency relative to the
+    // frequency the performance result was computed at.
+    const double time_scale = perf.total_seconds > 0
+        ? chip_.core_freq_ghz / freq_ghz_ : 1.0;
+
+    for (size_t i = 0; i < perf.layers.size(); ++i) {
+        const LayerPerf &lp = perf.layers[i];
+        const double t = lp.seconds * time_scale;
+        const double total = lp.cycles.total();
+        if (t <= 0)
+            continue;
+        const double act_mpe = total > 0
+            ? (lp.cycles.conv_gemm + 0.5 * lp.cycles.overhead) / total
+            : 0.0;
+        const double act_sfu = total > 0
+            ? std::min(1.0, (lp.cycles.quantization + lp.cycles.aux) /
+                            total)
+            : 0.0;
+        const double zero_frac =
+            1.0 - (1.0 - kActivationSparsity) *
+                  (1.0 - net.layers[i].weight_sparsity);
+        const double gate = 1.0 - kZeroGateEffect * zero_frac;
+
+        base_e += baseCoeff() * vvf * t;
+        mpe_e += mpeCoeff(lp.precision) * act_mpe * gate * vvf * t;
+        sfu_e += sfuCoeff() * act_sfu * vvf * t;
+        leak_e += si_.leakagePower(freq_ghz_) * t;
+    }
+
+    const double wall = perf.total_seconds * time_scale;
+    report.energy_j = base_e + mpe_e + sfu_e + leak_e;
+    report.avg_power_w = wall > 0 ? report.energy_j / wall : 0.0;
+    report.sustained_tops = 2.0 * perf.total_macs / wall / 1e12;
+    report.tops_per_w = report.avg_power_w > 0
+        ? report.sustained_tops / report.avg_power_w : 0.0;
+    report.power.base = wall > 0 ? base_e / wall : 0;
+    report.power.mpe = wall > 0 ? mpe_e / wall : 0;
+    report.power.sfu = wall > 0 ? sfu_e / wall : 0;
+    report.power.leakage = wall > 0 ? leak_e / wall : 0;
+    return report;
+}
+
+} // namespace rapid

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fixed-point formats used by the FXU pipeline: INT4 and INT2 operand
+ * codecs and the INT16 saturating accumulator the MPE emits on its
+ * 128-bit south datapath.
+ */
+
+#ifndef RAPID_PRECISION_INT_FORMAT_HH
+#define RAPID_PRECISION_INT_FORMAT_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace rapid {
+
+/**
+ * Symmetric signed fixed-point codec of a given bit width (2 or 4 for
+ * the RaPiD FXU). Values are stored as two's-complement integers and
+ * interpreted as integer * scale.
+ */
+class IntFormat
+{
+  public:
+    explicit IntFormat(unsigned bits) : bits_(bits)
+    {
+        rapid_assert(bits >= 2 && bits <= 16,
+                     "unsupported integer width ", bits);
+    }
+
+    unsigned storageBits() const { return bits_; }
+
+    /** Most positive representable integer (symmetric range). */
+    int
+    maxLevel() const
+    {
+        return (1 << (bits_ - 1)) - 1;
+    }
+
+    /** Most negative level used; symmetric, so -maxLevel(). */
+    int minLevel() const { return -maxLevel(); }
+
+    /** Quantize @p value/scale to the nearest clamped integer level. */
+    int
+    quantizeLevel(float value, float scale) const
+    {
+        rapid_assert(scale > 0, "non-positive quantization scale");
+        float x = value / scale;
+        int level = int(x >= 0 ? x + 0.5f : x - 0.5f);
+        if (level > maxLevel())
+            level = maxLevel();
+        if (level < minLevel())
+            level = minLevel();
+        return level;
+    }
+
+    /** Reconstruct the real value of a level. */
+    float
+    dequantize(int level, float scale) const
+    {
+        return float(level) * scale;
+    }
+
+  private:
+    unsigned bits_;
+};
+
+inline const IntFormat &
+int4()
+{
+    static const IntFormat fmt(4);
+    return fmt;
+}
+
+inline const IntFormat &
+int2()
+{
+    static const IntFormat fmt(2);
+    return fmt;
+}
+
+/** Saturate a wide accumulator to the 16-bit MPE output range. */
+inline int32_t
+saturateToInt16(int64_t value)
+{
+    if (value > INT16_MAX)
+        return INT16_MAX;
+    if (value < INT16_MIN)
+        return INT16_MIN;
+    return int32_t(value);
+}
+
+} // namespace rapid
+
+#endif // RAPID_PRECISION_INT_FORMAT_HH

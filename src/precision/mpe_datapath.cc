@@ -1,0 +1,90 @@
+#include "precision/mpe_datapath.hh"
+
+#include "common/logging.hh"
+
+namespace rapid {
+
+MpeDatapath::MpeDatapath(int fwd_bias, Rounding rounding)
+    : fwdBias_(fwd_bias), rounding_(rounding), fwdFormat_(fp8e4m3(fwd_bias))
+{
+}
+
+void
+MpeDatapath::setForwardBias(int fwd_bias)
+{
+    fwdBias_ = fwd_bias;
+    fwdFormat_ = fp8e4m3(fwd_bias);
+}
+
+float
+MpeDatapath::roundFp16(float value) const
+{
+    return dlfloat16().quantize(value, rounding_);
+}
+
+float
+MpeDatapath::fp16Fma(float a, float b, float acc)
+{
+    ++fmaCount_;
+    if (a == 0.0f || b == 0.0f) {
+        ++zeroGatedCount_;
+        return acc; // zero-gating: pass the addend through
+    }
+    // DLFloat16 significands are 10 bits, so the product's 20-bit
+    // significand and the subsequent sum are exact in double; a single
+    // rounding models the fused accumulate output.
+    double product = double(a) * double(b);
+    return roundFp16(float(product + double(acc)));
+}
+
+float
+MpeDatapath::toFp9(float value, Fp8Kind kind) const
+{
+    const FloatFormat &fmt =
+        (kind == Fp8Kind::Forward) ? fwdFormat_ : fp8e5m2();
+    float as_fp8 = fmt.quantize(value, rounding_);
+    // On-the-fly conversion to the internal (1,5,3) operand format.
+    // Exact for every FP8 encoding with bias in [1,15] (tested
+    // exhaustively), so this second step never changes the value.
+    return fp9().quantize(as_fp8, rounding_);
+}
+
+float
+MpeDatapath::hfp8Fma(float a, Fp8Kind a_kind, float b, Fp8Kind b_kind,
+                     float acc)
+{
+    ++fmaCount_;
+    float a9 = toFp9(a, a_kind);
+    float b9 = toFp9(b, b_kind);
+    if (a9 == 0.0f || b9 == 0.0f) {
+        ++zeroGatedCount_;
+        return acc;
+    }
+    // FP9 significands are 4 bits; the 8-bit product significand is
+    // exact in double. The HFP8 path merges with the FP16 path at the
+    // adder, so the result is rounded to DLFloat16.
+    double product = double(a9) * double(b9);
+    return roundFp16(float(product + double(acc)));
+}
+
+int64_t
+MpeDatapath::intMac(int a, int b, int64_t acc, unsigned width) const
+{
+    rapid_assert(width == 4 || width == 2,
+                 "FXU supports INT4/INT2, not INT", width);
+    const IntFormat &fmt = (width == 4) ? int4() : int2();
+    rapid_assert(a >= fmt.minLevel() && a <= fmt.maxLevel(),
+                 "operand a=", a, " outside INT", width, " range");
+    rapid_assert(b >= fmt.minLevel() && b <= fmt.maxLevel(),
+                 "operand b=", b, " outside INT", width, " range");
+    return acc + int64_t(a) * int64_t(b);
+}
+
+void
+MpeDatapath::resetCounters()
+{
+    fmaCount_ = 0;
+    zeroGatedCount_ = 0;
+}
+
+} // namespace rapid

@@ -1,0 +1,221 @@
+#include "precision/quantize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace rapid {
+
+PactQuantizer::PactQuantizer(float alpha, unsigned bits)
+    : alpha_(alpha), bits_(bits)
+{
+    rapid_assert(alpha > 0.0f, "PACT alpha must be positive, got ", alpha);
+    rapid_assert(bits >= 2 && bits <= 8, "unsupported PACT width ", bits);
+}
+
+int
+PactQuantizer::quantizeLevel(float x) const
+{
+    float clipped = std::clamp(x, 0.0f, alpha_);
+    return int(clipped / scale() + 0.5f);
+}
+
+float
+PactQuantizer::quantize(float x) const
+{
+    return float(quantizeLevel(x)) * scale();
+}
+
+float
+PactQuantizer::gradInput(float x) const
+{
+    return (x > 0.0f && x < alpha_) ? 1.0f : 0.0f;
+}
+
+float
+PactQuantizer::gradAlpha(float x) const
+{
+    return x >= alpha_ ? 1.0f : 0.0f;
+}
+
+TensorMoments
+computeMoments(const std::vector<float> &values)
+{
+    rapid_assert(!values.empty(), "moments of an empty tensor");
+    double sum_abs = 0.0;
+    double sum_sq = 0.0;
+    for (float v : values) {
+        sum_abs += std::abs(double(v));
+        sum_sq += double(v) * double(v);
+    }
+    double n = double(values.size());
+    return {sum_abs / n, std::sqrt(sum_sq / n)};
+}
+
+SawbQuantizer::SawbQuantizer(const std::vector<float> &weights,
+                             unsigned bits)
+    : SawbQuantizer(weights, bits, stockCoefficients(bits))
+{
+}
+
+SawbQuantizer::SawbQuantizer(const std::vector<float> &weights,
+                             unsigned bits, Coefficients coeffs)
+    : bits_(bits)
+{
+    rapid_assert(bits >= 2 && bits <= 8, "unsupported SaWB width ", bits);
+    deriveAlpha(weights, coeffs);
+}
+
+void
+SawbQuantizer::deriveAlpha(const std::vector<float> &weights,
+                           Coefficients coeffs)
+{
+    TensorMoments m = computeMoments(weights);
+    double alpha = coeffs.c1 * m.rms - coeffs.c2 * m.mean_abs;
+    // Guard against degenerate tensors (e.g. near-constant weights)
+    // where the fitted linear form goes non-positive.
+    if (alpha <= 0.0)
+        alpha = m.rms > 0.0 ? m.rms : 1.0;
+    alpha_ = float(alpha);
+}
+
+float
+SawbQuantizer::scale() const
+{
+    int max_level = (1 << (bits_ - 1)) - 1;
+    return alpha_ / float(max_level);
+}
+
+int
+SawbQuantizer::quantizeLevel(float w) const
+{
+    int max_level = (1 << (bits_ - 1)) - 1;
+    float x = std::clamp(w, -alpha_, alpha_) / scale();
+    int level = int(x >= 0 ? x + 0.5f : x - 0.5f);
+    return std::clamp(level, -max_level, max_level);
+}
+
+float
+SawbQuantizer::quantize(float w) const
+{
+    return float(quantizeLevel(w)) * scale();
+}
+
+double
+SawbQuantizer::quantizationMse(const std::vector<float> &weights,
+                               unsigned bits, double alpha)
+{
+    rapid_assert(!weights.empty() && alpha > 0, "bad MSE query");
+    int max_level = (1 << (bits - 1)) - 1;
+    double scale = alpha / max_level;
+    double err = 0.0;
+    for (float w : weights) {
+        double x = std::clamp(double(w), -alpha, alpha) / scale;
+        double level = std::round(x);
+        double q = std::clamp(level, double(-max_level),
+                              double(max_level)) * scale;
+        err += (q - w) * (q - w);
+    }
+    return err / double(weights.size());
+}
+
+double
+SawbQuantizer::optimalAlpha(const std::vector<float> &weights,
+                            unsigned bits)
+{
+    double max_abs = 0.0;
+    for (float w : weights)
+        max_abs = std::max(max_abs, std::abs(double(w)));
+    rapid_assert(max_abs > 0, "optimalAlpha of an all-zero tensor");
+
+    // Coarse grid scan followed by golden-section refinement.
+    const int grid = 96;
+    double best_alpha = max_abs;
+    double best_mse = quantizationMse(weights, bits, max_abs);
+    for (int i = 1; i < grid; ++i) {
+        double a = max_abs * double(i) / grid;
+        double mse = quantizationMse(weights, bits, a);
+        if (mse < best_mse) {
+            best_mse = mse;
+            best_alpha = a;
+        }
+    }
+
+    double lo = std::max(best_alpha - max_abs / grid, max_abs * 1e-3);
+    double hi = std::min(best_alpha + max_abs / grid, max_abs);
+    const double phi = 0.5 * (std::sqrt(5.0) - 1.0);
+    for (int iter = 0; iter < 40; ++iter) {
+        double m1 = hi - phi * (hi - lo);
+        double m2 = lo + phi * (hi - lo);
+        if (quantizationMse(weights, bits, m1) <
+            quantizationMse(weights, bits, m2)) {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+SawbQuantizer::Coefficients
+SawbQuantizer::fitCoefficients(
+    const std::vector<std::vector<float>> &sample_sets, unsigned bits)
+{
+    rapid_assert(sample_sets.size() >= 2,
+                 "need >= 2 distributions to identify (c1, c2)");
+    // Least squares: alpha*_i ~= c1 * rms_i - c2 * mean_abs_i.
+    double sxx = 0, sxy = 0, syy = 0, sxz = 0, syz = 0;
+    for (const auto &samples : sample_sets) {
+        TensorMoments m = computeMoments(samples);
+        double x = m.rms;
+        double y = -m.mean_abs;
+        double z = optimalAlpha(samples, bits);
+        sxx += x * x;
+        sxy += x * y;
+        syy += y * y;
+        sxz += x * z;
+        syz += y * z;
+    }
+    double det = sxx * syy - sxy * sxy;
+    rapid_assert(std::abs(det) > 1e-12,
+                 "degenerate SaWB fit: distributions too similar");
+    double c1 = (sxz * syy - syz * sxy) / det;
+    double c2 = (sxx * syz - sxy * sxz) / det;
+    return {c1, c2};
+}
+
+SawbQuantizer::Coefficients
+SawbQuantizer::stockCoefficients(unsigned bits)
+{
+    rapid_assert(bits >= 2 && bits <= 4, "no stock coefficients for INT",
+                 bits);
+    // Fitted once per process over canonical weight-like distributions
+    // (Gaussian, Laplace, uniform, and a Gaussian mixture), seeded
+    // deterministically so the constants are reproducible run-to-run.
+    static Coefficients cache[3];
+    static bool ready[3] = {false, false, false};
+    unsigned idx = bits - 2;
+    if (!ready[idx]) {
+        Rng rng(0xC0EFF5 + bits);
+        const size_t n = 20000;
+        std::vector<std::vector<float>> sets;
+        sets.push_back(rng.gaussianVector(n, 0.0, 1.0));
+        std::vector<float> lap(n), uni(n), mix(n);
+        for (size_t i = 0; i < n; ++i) {
+            lap[i] = float(rng.laplace(1.0));
+            uni[i] = float(rng.uniform(-1.0, 1.0));
+            mix[i] = float(rng.uniform() < 0.8 ? rng.gaussian(0.0, 0.5)
+                                               : rng.gaussian(0.0, 2.0));
+        }
+        sets.push_back(std::move(lap));
+        sets.push_back(std::move(uni));
+        sets.push_back(std::move(mix));
+        cache[idx] = fitCoefficients(sets, bits);
+        ready[idx] = true;
+    }
+    return cache[idx];
+}
+
+} // namespace rapid

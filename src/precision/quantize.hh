@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The two quantization techniques RaPiD's INT4/INT2 inference path
+ * relies on (Section II-C):
+ *
+ *   - PACT [42]: activations pass through a clipped ReLU whose clip
+ *     value alpha is *learned per layer* during training; the clipped
+ *     range [0, alpha] is quantized uniformly to n unsigned bits.
+ *   - SaWB [46]: weights are quantized symmetrically with a scale
+ *     derived from the first and second moments of the weight tensor,
+ *     alpha* = c1 * sqrt(E[w^2]) - c2 * E[|w|]. The (c1, c2)
+ *     coefficients per bit width are fitted offline by minimizing the
+ *     quantization MSE over representative weight distributions; the
+ *     fitting routine ships here so the constants are reproducible
+ *     (see DESIGN.md section 4.7).
+ */
+
+#ifndef RAPID_PRECISION_QUANTIZE_HH
+#define RAPID_PRECISION_QUANTIZE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rapid {
+
+/**
+ * PACT activation quantizer: y = clamp(x, 0, alpha) quantized to
+ * 2^bits uniform unsigned levels.
+ */
+class PactQuantizer
+{
+  public:
+    PactQuantizer(float alpha, unsigned bits);
+
+    float alpha() const { return alpha_; }
+    unsigned bits() const { return bits_; }
+    unsigned numLevels() const { return (1u << bits_) - 1; }
+    float scale() const { return alpha_ / float(numLevels()); }
+
+    /** Clip-and-quantize to an integer level in [0, 2^bits - 1]. */
+    int quantizeLevel(float x) const;
+
+    /** Quantize and reconstruct the real value. */
+    float quantize(float x) const;
+
+    /**
+     * Straight-through-estimator gradient of the PACT activation
+     * w.r.t. its input: 1 inside (0, alpha), 0 outside.
+     */
+    float gradInput(float x) const;
+
+    /** Gradient of the PACT activation w.r.t. alpha: 1 if x >= alpha. */
+    float gradAlpha(float x) const;
+
+  private:
+    float alpha_;
+    unsigned bits_;
+};
+
+/**
+ * SaWB weight quantizer: symmetric signed quantization with a
+ * statistics-derived clip scale.
+ */
+class SawbQuantizer
+{
+  public:
+    /** Fitted (c1, c2) coefficients for a given weight bit width. */
+    struct Coefficients
+    {
+        double c1;
+        double c2;
+    };
+
+    /**
+     * Build a quantizer for @p weights using the stock coefficients
+     * for @p bits (2 or 4).
+     */
+    SawbQuantizer(const std::vector<float> &weights, unsigned bits);
+
+    /** Build with explicit coefficients (e.g. freshly fitted ones). */
+    SawbQuantizer(const std::vector<float> &weights, unsigned bits,
+                  Coefficients coeffs);
+
+    unsigned bits() const { return bits_; }
+
+    /** The statistics-derived clip value alpha*. */
+    float alpha() const { return alpha_; }
+
+    /** Step between adjacent quantization levels. */
+    float scale() const;
+
+    /** Quantize to a signed level in [-(2^(b-1)-1), 2^(b-1)-1]. */
+    int quantizeLevel(float w) const;
+
+    /** Quantize and reconstruct. */
+    float quantize(float w) const;
+
+    /** Library default coefficients for @p bits (2, 3 or 4). */
+    static Coefficients stockCoefficients(unsigned bits);
+
+    /**
+     * Reproduce the stock coefficients: for each sample set (each
+     * drawn from a representative weight distribution), find the
+     * MSE-optimal clip alpha, then least-squares fit (c1, c2) so that
+     * c1 * rms - c2 * mean_abs predicts those optima.
+     */
+    static Coefficients
+    fitCoefficients(const std::vector<std::vector<float>> &sample_sets,
+                    unsigned bits);
+
+    /** Find the clip value minimizing quantization MSE numerically. */
+    static double optimalAlpha(const std::vector<float> &weights,
+                               unsigned bits);
+
+    /** Mean squared error of quantizing @p weights at clip @p alpha. */
+    static double quantizationMse(const std::vector<float> &weights,
+                                  unsigned bits, double alpha);
+
+  private:
+    void deriveAlpha(const std::vector<float> &weights,
+                     Coefficients coeffs);
+
+    unsigned bits_;
+    float alpha_ = 0.0f;
+};
+
+/** First and second absolute moments of a tensor. */
+struct TensorMoments
+{
+    double mean_abs; ///< E[|w|]
+    double rms;      ///< sqrt(E[w^2])
+};
+
+TensorMoments computeMoments(const std::vector<float> &values);
+
+} // namespace rapid
+
+#endif // RAPID_PRECISION_QUANTIZE_HH

@@ -1,0 +1,81 @@
+#include "runtime/report.hh"
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace rapid {
+
+std::string
+layerReport(const NetworkPerf &perf, bool include_aux)
+{
+    Table t({"Layer", "Prec", "MACs", "Conv/GEMM", "Ovh", "Quant",
+             "Aux", "MemStall", "Util"});
+    for (const auto &l : perf.layers) {
+        if (!include_aux && l.type == LayerType::Aux)
+            continue;
+        t.addRow({l.name, precisionName(l.precision),
+                  Table::fmt(l.macs / 1e6, 1) + "M",
+                  Table::fmt(l.cycles.conv_gemm, 0),
+                  Table::fmt(l.cycles.overhead, 0),
+                  Table::fmt(l.cycles.quantization, 0),
+                  Table::fmt(l.cycles.aux, 0),
+                  Table::fmt(l.cycles.mem_stall, 0),
+                  Table::fmt(100 * l.utilization, 1) + "%"});
+    }
+    return t.str();
+}
+
+std::string
+summaryLine(const NetworkPerf &perf)
+{
+    std::ostringstream oss;
+    const CycleBreakdown &b = perf.breakdown;
+    const double busy = b.busy();
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: batch %lld, %.3f ms, %.1f samples/s, %.2f "
+                  "sustained TOPS | busy split conv %.0f%% ovh %.0f%% "
+                  "quant %.0f%% aux %.0f%%",
+                  perf.network.c_str(), (long long)perf.batch,
+                  1e3 * perf.total_seconds, perf.samplesPerSecond(),
+                  perf.sustainedTops(), 100 * b.conv_gemm / busy,
+                  100 * b.overhead / busy,
+                  100 * b.quantization / busy, 100 * b.aux / busy);
+    oss << buf;
+    return oss.str();
+}
+
+std::string
+summaryLine(const NetworkPerf &perf, const EnergyReport &energy)
+{
+    std::ostringstream oss;
+    oss << summaryLine(perf);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), " | %.2f W, %.2f TOPS/W",
+                  energy.avg_power_w, energy.tops_per_w);
+    oss << buf;
+    return oss.str();
+}
+
+std::string
+layerCsv(const NetworkPerf &perf)
+{
+    std::ostringstream oss;
+    oss << "name,type,precision,macs,conv_cycles,overhead,quant,aux,"
+           "mem_stall,mem_bytes,utilization,seconds\n";
+    for (const auto &l : perf.layers) {
+        const char *type = l.type == LayerType::Conv ? "conv"
+                           : l.type == LayerType::Gemm ? "gemm"
+                                                       : "aux";
+        oss << l.name << ',' << type << ','
+            << precisionName(l.precision) << ',' << l.macs << ','
+            << l.cycles.conv_gemm << ',' << l.cycles.overhead << ','
+            << l.cycles.quantization << ',' << l.cycles.aux << ','
+            << l.cycles.mem_stall << ',' << l.mem_bytes << ','
+            << l.utilization << ',' << l.seconds << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace rapid

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Human-readable and CSV reporting of performance/power results, so
+ * downstream users can archive and diff runs without re-parsing the
+ * structs.
+ */
+
+#ifndef RAPID_RUNTIME_REPORT_HH
+#define RAPID_RUNTIME_REPORT_HH
+
+#include <string>
+
+#include "perf/perf_model.hh"
+#include "power/power_model.hh"
+
+namespace rapid {
+
+/** Aligned per-layer table of a network run (compute layers only by
+ *  default; pass @p include_aux for everything). */
+std::string layerReport(const NetworkPerf &perf,
+                        bool include_aux = false);
+
+/** One-line summary: latency, throughput, sustained TOPS, breakdown. */
+std::string summaryLine(const NetworkPerf &perf);
+
+/** Summary including the energy report. */
+std::string summaryLine(const NetworkPerf &perf,
+                        const EnergyReport &energy);
+
+/**
+ * Machine-readable CSV of the per-layer results with a header row:
+ * name,type,precision,macs,conv_cycles,overhead,quant,aux,mem_stall,
+ * mem_bytes,utilization,seconds.
+ */
+std::string layerCsv(const NetworkPerf &perf);
+
+} // namespace rapid
+
+#endif // RAPID_RUNTIME_REPORT_HH

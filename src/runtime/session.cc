@@ -1,0 +1,48 @@
+#include "runtime/session.hh"
+
+namespace rapid {
+
+InferenceSession::InferenceSession(const ChipConfig &chip, Network net)
+    : chip_(chip), net_(std::move(net))
+{
+}
+
+ExecutionPlan
+InferenceSession::compile(const InferenceOptions &opts) const
+{
+    PrecisionOptions popts;
+    popts.target = opts.target;
+    ExecutionPlan plan = assignPrecision(net_, popts);
+    if (opts.sparsity_throttling) {
+        PowerModel power(chip_);
+        ThrottlePlanner planner(power);
+        planner.planThrottle(net_, plan);
+    }
+    return plan;
+}
+
+InferenceResult
+InferenceSession::run(const InferenceOptions &opts) const
+{
+    InferenceResult result;
+    result.plan = compile(opts);
+    PerfModel perf(chip_);
+    result.perf = perf.evaluate(net_, result.plan, opts.batch);
+    PowerModel power(chip_, opts.power_report_freq_ghz);
+    result.energy = power.evaluate(result.perf, net_);
+    return result;
+}
+
+TrainingSession::TrainingSession(const SystemConfig &sys, Network net)
+    : sys_(sys), net_(std::move(net))
+{
+}
+
+TrainingPerf
+TrainingSession::run(const TrainingOptions &opts) const
+{
+    TrainingPerfModel model(sys_);
+    return model.evaluate(net_, opts.precision, opts.minibatch);
+}
+
+} // namespace rapid

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Top-level public API: compile-and-evaluate sessions that mirror the
+ * paper's software stack (Section IV-B) — the graph compiler assigns
+ * precisions, plans sparsity-aware throttling, and maps work; the
+ * bandwidth-centric performance/power models then report end-to-end
+ * latency, throughput, and efficiency.
+ *
+ * Typical use:
+ * @code
+ *   Network net = makeResnet50();
+ *   InferenceSession session(makeInferenceChip(), net);
+ *   InferenceOptions opts;
+ *   opts.target = Precision::INT4;
+ *   InferenceResult r = session.run(opts);
+ *   // r.perf.samplesPerSecond(), r.energy.tops_per_w, ...
+ * @endcode
+ */
+
+#ifndef RAPID_RUNTIME_SESSION_HH
+#define RAPID_RUNTIME_SESSION_HH
+
+#include "arch/config.hh"
+#include "compiler/precision_assign.hh"
+#include "perf/perf_model.hh"
+#include "power/power_model.hh"
+#include "power/throttle.hh"
+#include "workloads/layer.hh"
+
+namespace rapid {
+
+/** Inference compilation/evaluation knobs. */
+struct InferenceOptions
+{
+    Precision target = Precision::INT4;
+    int64_t batch = 1;
+    /// Plan sparsity-aware frequency throttling from the network's
+    /// per-layer weight sparsity profile (Section III-C.2).
+    bool sparsity_throttling = false;
+    /// Operating point for the efficiency report; 0 keeps the chip's
+    /// configured frequency.
+    double power_report_freq_ghz = 0.0;
+};
+
+/** Everything an inference run produces. */
+struct InferenceResult
+{
+    ExecutionPlan plan;
+    NetworkPerf perf;
+    EnergyReport energy;
+};
+
+/** Compile-and-evaluate session for one network on one chip. */
+class InferenceSession
+{
+  public:
+    InferenceSession(const ChipConfig &chip, Network net);
+
+    const Network &network() const { return net_; }
+    const ChipConfig &chip() const { return chip_; }
+
+    /** Compile only: the plan the run would use. */
+    ExecutionPlan compile(const InferenceOptions &opts) const;
+
+    /** Compile, evaluate performance, and integrate power. */
+    InferenceResult run(const InferenceOptions &opts) const;
+
+  private:
+    ChipConfig chip_;
+    Network net_;
+};
+
+/** Training evaluation knobs. */
+struct TrainingOptions
+{
+    Precision precision = Precision::HFP8;
+    int64_t minibatch = 512;
+};
+
+/** Session for a multi-chip training system. */
+class TrainingSession
+{
+  public:
+    TrainingSession(const SystemConfig &sys, Network net);
+
+    TrainingPerf run(const TrainingOptions &opts) const;
+
+    const SystemConfig &system() const { return sys_; }
+
+  private:
+    SystemConfig sys_;
+    Network net_;
+};
+
+} // namespace rapid
+
+#endif // RAPID_RUNTIME_SESSION_HH

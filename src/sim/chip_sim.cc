@@ -1,0 +1,179 @@
+#include "sim/chip_sim.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace rapid {
+
+namespace {
+
+/**
+ * Per-core program interpreter for the chip-level run; mirrors the
+ * corelet simulator's processor but posts/waits tokens on a per-core
+ * board fed by MNI completions.
+ */
+class CoreThread
+{
+  public:
+    CoreThread(EventQueue &eq, const LayerProgram &prog,
+               Tick lrf_load_cycles)
+        : eq_(eq), tokens_(eq), prog_(prog),
+          lrfLoadCycles_(lrf_load_cycles)
+    {
+    }
+
+    void
+    start()
+    {
+        eq_.scheduleIn(0, [this] { step(); });
+    }
+
+    /** MNI completion for this core: operands staged, wake waiters. */
+    void tokenArrived(unsigned token) { tokens_.post(token); }
+
+    bool done() const { return done_; }
+    const CoreRunStats &stats() const { return stats_; }
+
+  private:
+    void
+    step()
+    {
+        if (pc_ >= prog_.mpe_program.size()) {
+            finish();
+            return;
+        }
+        const MpeInstruction &inst = prog_.mpe_program[pc_++];
+        switch (inst.op) {
+          case Opcode::SetPrec:
+          case Opcode::SetBias:
+          case Opcode::Nop:
+          case Opcode::TokPost:
+          case Opcode::MovSouth:
+            issue(1);
+            return;
+          case Opcode::TokWait: {
+            const Tick begin = eq_.now();
+            tokens_.wait(inst.imm, [this, begin] {
+                stats_.stall_cycles += eq_.now() - begin;
+                step();
+            });
+            return;
+          }
+          case Opcode::LrfLoad:
+            ++stats_.tiles_loaded;
+            issue(lrfLoadCycles_);
+            return;
+          case Opcode::Fmma:
+            stats_.fmma_issued += inst.imm;
+            issue(std::max<Tick>(1, inst.imm));
+            return;
+          case Opcode::Halt:
+            finish();
+            return;
+        }
+        rapid_panic("unhandled opcode in chip sim");
+    }
+
+    void
+    issue(Tick cycles)
+    {
+        eq_.scheduleIn(cycles, [this] { step(); });
+    }
+
+    void
+    finish()
+    {
+        done_ = true;
+        stats_.finish_cycle = eq_.now();
+    }
+
+    EventQueue &eq_;
+    TokenBoard tokens_;
+    const LayerProgram &prog_;
+    Tick lrfLoadCycles_;
+    size_t pc_ = 0;
+    bool done_ = false;
+    CoreRunStats stats_;
+};
+
+} // namespace
+
+ChipSim::ChipSim(unsigned num_cores, bool multicast, MniConfig mni_cfg)
+    : numCores_(num_cores), multicast_(multicast), mniCfg_(mni_cfg)
+{
+    rapid_assert(num_cores >= 1, "need at least one core");
+}
+
+ChipRunStats
+ChipSim::run(const LayerProgram &prog, Tick lrf_load_cycles)
+{
+    RingConfig ring_cfg;
+    ring_cfg.num_nodes = numCores_ + 1; // + memory interface
+    MniFabric mni(ring_cfg, mniCfg_);
+
+    EventQueue eq;
+    std::vector<std::unique_ptr<CoreThread>> cores;
+    for (unsigned c = 0; c < numCores_; ++c) {
+        cores.push_back(std::make_unique<CoreThread>(
+            eq, prog, lrf_load_cycles));
+        cores.back()->start();
+    }
+
+    // Per-core sequencer cursors over the planned transfers: each
+    // core requests its tiles in order, stalling at the MNI-LU's
+    // outstanding limit. Under multicast every core uses the shared
+    // tile tag; the unicast baseline privatizes tags per core.
+    std::vector<size_t> next_transfer(numCores_, 0);
+    auto tag_for = [&](unsigned core, size_t idx) -> uint64_t {
+        const uint64_t base = prog.transfers[idx].tag;
+        return multicast_ ? base : base * numCores_ + core + 1000000;
+    };
+
+    size_t completions_seen = 0;
+    Tick tick = 0;
+    const Tick limit = 500000000;
+    auto all_done = [&] {
+        for (const auto &c : cores)
+            if (!c->done())
+                return false;
+        return true;
+    };
+
+    while (!all_done()) {
+        rapid_assert(++tick <= limit, "chip sim failed to converge");
+        // Sequencers try to push their next requests.
+        for (unsigned c = 0; c < numCores_; ++c) {
+            while (next_transfer[c] < prog.transfers.size()) {
+                const auto &tr = prog.transfers[next_transfer[c]];
+                const unsigned consumers =
+                    multicast_ ? numCores_ : 1;
+                if (!mni.recv(c, mni.memoryNode(),
+                              tag_for(c, next_transfer[c]), tr.bytes,
+                              tr.ready_token, consumers))
+                    break; // load queue full; retry next cycle
+                ++next_transfer[c];
+            }
+        }
+        mni.step();
+        // Dispatch newly landed blocks to their cores' token boards.
+        const auto &done = mni.completions();
+        for (; completions_seen < done.size(); ++completions_seen) {
+            const MniCompletion &comp = done[completions_seen];
+            // local_addr carries the ready token (set above).
+            cores[comp.consumer]->tokenArrived(
+                unsigned(comp.local_addr));
+        }
+        eq.run(tick);
+    }
+
+    ChipRunStats stats;
+    stats.makespan = tick;
+    stats.ring_flit_hops = mni.ring().flitHopsMoved();
+    for (const auto &c : cores)
+        stats.cores.push_back(c->stats());
+    return stats;
+}
+
+} // namespace rapid

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Chip-level integration simulation: every core runs the same
+ * compiled layer program over its position slice (the compiler's
+ * position split), while the weight blocks stream from the external
+ * memory node over the cycle-level ring through the MNI. Each core's
+ * MNI-LU posts a Recv per tile with a shared tag, the memory
+ * interface aggregates the requests, and one multicast per tile
+ * serves every core (Figure 8) — so the experiment quantifies what
+ * request aggregation saves at chip scope, with the processors'
+ * token stalls exposing any delivery latency the multicast cannot
+ * hide.
+ */
+
+#ifndef RAPID_SIM_CHIP_SIM_HH
+#define RAPID_SIM_CHIP_SIM_HH
+
+#include <vector>
+
+#include "compiler/codegen.hh"
+#include "interconnect/mni.hh"
+#include "sim/event_queue.hh"
+
+namespace rapid {
+
+/** Per-core outcome of a chip-level run. */
+struct CoreRunStats
+{
+    Tick finish_cycle = 0;
+    Tick stall_cycles = 0;
+    uint64_t fmma_issued = 0;
+    uint64_t tiles_loaded = 0;
+};
+
+/** Whole-chip outcome. */
+struct ChipRunStats
+{
+    Tick makespan = 0;
+    uint64_t ring_flit_hops = 0;
+    std::vector<CoreRunStats> cores;
+
+    Tick
+    maxStall() const
+    {
+        Tick m = 0;
+        for (const auto &c : cores)
+            m = std::max(m, c.stall_cycles);
+        return m;
+    }
+};
+
+/** Chip-level simulator: N cores + memory node on the ring. */
+class ChipSim
+{
+  public:
+    /**
+     * @param num_cores Ring carries num_cores + 1 nodes (memory last).
+     * @param multicast When true, cores share per-tile tags so the
+     *        memory interface aggregates and multicasts; when false,
+     *        every core uses private tags (N unicasts per tile), the
+     *        baseline the MNI design improves on.
+     */
+    explicit ChipSim(unsigned num_cores = 4, bool multicast = true,
+                     MniConfig mni_cfg = {});
+
+    /**
+     * Run @p prog on every core; weight tiles stream from memory.
+     * @p lrf_load_cycles is the per-tile LRF hand-off cost.
+     */
+    ChipRunStats run(const LayerProgram &prog,
+                     Tick lrf_load_cycles = 8);
+
+  private:
+    unsigned numCores_;
+    bool multicast_;
+    MniConfig mniCfg_;
+};
+
+} // namespace rapid
+
+#endif // RAPID_SIM_CHIP_SIM_HH

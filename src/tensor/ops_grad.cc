@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reference gradients of the convolution operator (FP32 golden
+ * model), used by the CNN training framework and validated against
+ * finite differences.
+ */
+
+#include "tensor/ops.hh"
+
+namespace rapid {
+
+Tensor
+conv2dGradInput(const Tensor &grad_out, const Tensor &weight,
+                const ConvParams &p, int64_t in_h, int64_t in_w)
+{
+    rapid_assert(p.groups == 1, "grouped conv gradients unsupported");
+    const int64_t n = grad_out.dim(0), co = grad_out.dim(1);
+    const int64_t ho = grad_out.dim(2), wo = grad_out.dim(3);
+    const int64_t ci = weight.dim(1);
+    const int64_t kh = weight.dim(2), kw = weight.dim(3);
+    rapid_assert(weight.dim(0) == co, "weight/grad channel mismatch");
+
+    Tensor dx({n, ci, in_h, in_w});
+    // Scatter form: every output gradient element contributes to the
+    // input positions its receptive field covered.
+    for (int64_t nn = 0; nn < n; ++nn) {
+        for (int64_t oc = 0; oc < co; ++oc) {
+            for (int64_t oy = 0; oy < ho; ++oy) {
+                for (int64_t ox = 0; ox < wo; ++ox) {
+                    const float g = grad_out.at(nn, oc, oy, ox);
+                    if (g == 0.0f)
+                        continue;
+                    for (int64_t ic = 0; ic < ci; ++ic) {
+                        for (int64_t ky = 0; ky < kh; ++ky) {
+                            const int64_t iy =
+                                oy * p.stride + ky - p.pad;
+                            if (iy < 0 || iy >= in_h)
+                                continue;
+                            for (int64_t kx = 0; kx < kw; ++kx) {
+                                const int64_t ix =
+                                    ox * p.stride + kx - p.pad;
+                                if (ix < 0 || ix >= in_w)
+                                    continue;
+                                dx.at(nn, ic, iy, ix) +=
+                                    g * weight.at(oc, ic, ky, kx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+Tensor
+conv2dGradWeight(const Tensor &grad_out, const Tensor &input,
+                 const ConvParams &p, int64_t kh, int64_t kw)
+{
+    rapid_assert(p.groups == 1, "grouped conv gradients unsupported");
+    const int64_t n = grad_out.dim(0), co = grad_out.dim(1);
+    const int64_t ho = grad_out.dim(2), wo = grad_out.dim(3);
+    const int64_t ci = input.dim(1);
+    const int64_t in_h = input.dim(2), in_w = input.dim(3);
+
+    Tensor dw({co, ci, kh, kw});
+    for (int64_t nn = 0; nn < n; ++nn) {
+        for (int64_t oc = 0; oc < co; ++oc) {
+            for (int64_t oy = 0; oy < ho; ++oy) {
+                for (int64_t ox = 0; ox < wo; ++ox) {
+                    const float g = grad_out.at(nn, oc, oy, ox);
+                    if (g == 0.0f)
+                        continue;
+                    for (int64_t ic = 0; ic < ci; ++ic) {
+                        for (int64_t ky = 0; ky < kh; ++ky) {
+                            const int64_t iy =
+                                oy * p.stride + ky - p.pad;
+                            if (iy < 0 || iy >= in_h)
+                                continue;
+                            for (int64_t kx = 0; kx < kw; ++kx) {
+                                const int64_t ix =
+                                    ox * p.stride + kx - p.pad;
+                                if (ix < 0 || ix >= in_w)
+                                    continue;
+                                dw.at(oc, ic, ky, kx) +=
+                                    g * input.at(nn, ic, iy, ix);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return dw;
+}
+
+} // namespace rapid

@@ -1,0 +1,137 @@
+#include "tensor/tensor.hh"
+
+#include <cmath>
+
+namespace rapid {
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape))
+{
+    rapid_assert(!shape_.empty() && shape_.size() <= 4,
+                 "tensor rank must be 1-4, got ", shape_.size());
+    numel_ = 1;
+    for (int64_t d : shape_) {
+        rapid_assert(d > 0, "non-positive tensor dimension ", d);
+        numel_ *= d;
+    }
+    data_.assign(size_t(numel_), 0.0f);
+}
+
+int64_t
+Tensor::dim(int64_t i) const
+{
+    rapid_assert(i >= 0 && i < rank(), "dim ", i, " out of rank ", rank());
+    return shape_[size_t(i)];
+}
+
+float &
+Tensor::operator[](int64_t i)
+{
+    rapid_assert(i >= 0 && i < numel_, "flat index ", i, " out of ",
+                 numel_);
+    return data_[size_t(i)];
+}
+
+float
+Tensor::operator[](int64_t i) const
+{
+    rapid_assert(i >= 0 && i < numel_, "flat index ", i, " out of ",
+                 numel_);
+    return data_[size_t(i)];
+}
+
+float &
+Tensor::at(int64_t i, int64_t j)
+{
+    rapid_assert(rank() == 2, "rank-2 access on rank-", rank());
+    return data_[size_t(i * shape_[1] + j)];
+}
+
+float
+Tensor::at(int64_t i, int64_t j) const
+{
+    rapid_assert(rank() == 2, "rank-2 access on rank-", rank());
+    return data_[size_t(i * shape_[1] + j)];
+}
+
+int64_t
+Tensor::flatIndex4(int64_t n, int64_t c, int64_t h, int64_t w) const
+{
+    rapid_assert(rank() == 4, "rank-4 access on rank-", rank());
+    return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+}
+
+float &
+Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w)
+{
+    return data_[size_t(flatIndex4(n, c, h, w))];
+}
+
+float
+Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w) const
+{
+    return data_[size_t(flatIndex4(n, c, h, w))];
+}
+
+Tensor
+Tensor::reshaped(std::vector<int64_t> new_shape) const
+{
+    Tensor out(std::move(new_shape));
+    rapid_assert(out.numel() == numel_, "reshape changes element count");
+    out.data_ = data_;
+    return out;
+}
+
+void
+Tensor::fill(float value)
+{
+    for (auto &v : data_)
+        v = value;
+}
+
+void
+Tensor::fillGaussian(Rng &rng, double mean, double stddev)
+{
+    for (auto &v : data_)
+        v = float(rng.gaussian(mean, stddev));
+}
+
+void
+Tensor::fillKaiming(Rng &rng, int64_t fan_in)
+{
+    rapid_assert(fan_in > 0, "non-positive fan-in");
+    fillGaussian(rng, 0.0, std::sqrt(2.0 / double(fan_in)));
+}
+
+float
+Tensor::maxAbs() const
+{
+    float m = 0.0f;
+    for (float v : data_)
+        m = std::max(m, std::abs(v));
+    return m;
+}
+
+double
+Tensor::zeroFraction() const
+{
+    int64_t zeros = 0;
+    for (float v : data_)
+        if (v == 0.0f)
+            ++zeros;
+    return numel_ ? double(zeros) / double(numel_) : 0.0;
+}
+
+double
+relativeL2(const Tensor &a, const Tensor &b)
+{
+    rapid_assert(a.numel() == b.numel(), "shape mismatch in relativeL2");
+    double num = 0.0, den = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        double d = double(a[i]) - double(b[i]);
+        num += d * d;
+        den += double(b[i]) * double(b[i]);
+    }
+    return std::sqrt(num) / (std::sqrt(den) + 1e-12);
+}
+
+} // namespace rapid

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A minimal dense float tensor used as the numerical substrate for the
+ * functional simulator and the golden reference operators. Row-major
+ * storage, NCHW convention for 4-D activations, (Co, Ci, Kh, Kw) for
+ * convolution weights.
+ */
+
+#ifndef RAPID_TENSOR_TENSOR_HH
+#define RAPID_TENSOR_TENSOR_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace rapid {
+
+/** Dense row-major float tensor of rank 1-4. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    explicit Tensor(std::vector<int64_t> shape);
+
+    Tensor(std::initializer_list<int64_t> shape)
+        : Tensor(std::vector<int64_t>(shape))
+    {
+    }
+
+    const std::vector<int64_t> &shape() const { return shape_; }
+    int64_t rank() const { return int64_t(shape_.size()); }
+    int64_t dim(int64_t i) const;
+    int64_t numel() const { return numel_; }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+    std::vector<float> &storage() { return data_; }
+    const std::vector<float> &storage() const { return data_; }
+
+    float &operator[](int64_t i);
+    float operator[](int64_t i) const;
+
+    /** Rank-2 element access. */
+    float &at(int64_t i, int64_t j);
+    float at(int64_t i, int64_t j) const;
+
+    /** Rank-4 element access (NCHW). */
+    float &at(int64_t n, int64_t c, int64_t h, int64_t w);
+    float at(int64_t n, int64_t c, int64_t h, int64_t w) const;
+
+    /** Reinterpret with a new shape of identical element count. */
+    Tensor reshaped(std::vector<int64_t> new_shape) const;
+
+    void fill(float value);
+
+    /** Fill with N(mean, stddev) draws from @p rng. */
+    void fillGaussian(Rng &rng, double mean = 0.0, double stddev = 1.0);
+
+    /** Kaiming-style init: stddev = sqrt(2 / fan_in). */
+    void fillKaiming(Rng &rng, int64_t fan_in);
+
+    /** Elementwise transform in place. */
+    template <typename F>
+    void
+    apply(F &&fn)
+    {
+        for (auto &v : data_)
+            v = fn(v);
+    }
+
+    /** Max |element|. */
+    float maxAbs() const;
+
+    /** Fraction of exactly-zero elements. */
+    double zeroFraction() const;
+
+  private:
+    int64_t flatIndex4(int64_t n, int64_t c, int64_t h, int64_t w) const;
+
+    std::vector<int64_t> shape_;
+    int64_t numel_ = 0;
+    std::vector<float> data_;
+};
+
+/** Relative L2 distance ||a - b|| / (||b|| + eps). */
+double relativeL2(const Tensor &a, const Tensor &b);
+
+} // namespace rapid
+
+#endif // RAPID_TENSOR_TENSOR_HH

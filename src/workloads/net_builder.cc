@@ -1,0 +1,175 @@
+#include "workloads/net_builder.hh"
+
+#include <algorithm>
+
+namespace rapid {
+
+NetBuilder::NetBuilder(std::string name, std::string domain,
+                       int64_t channels, int64_t height, int64_t width)
+    : c_(channels), h_(height), w_(width)
+{
+    net_.name = std::move(name);
+    net_.domain = std::move(domain);
+}
+
+NetBuilder &
+NetBuilder::convRect(const std::string &name, int64_t co, int64_t kh,
+                     int64_t kw, int64_t stride, int64_t pad,
+                     int64_t groups, bool bn, bool act)
+{
+    Layer l;
+    l.name = name;
+    l.type = LayerType::Conv;
+    l.ci = c_;
+    l.co = co;
+    l.h = h_;
+    l.w = w_;
+    l.kh = kh;
+    l.kw = kw;
+    l.stride = stride;
+    // A single pad value means framework-style "same"-intent padding;
+    // clamp per dimension so 1x7 / 7x1 factorized kernels pad only
+    // along their long axis.
+    l.pad_h = std::min<int64_t>(pad, (kh - 1) / 2);
+    l.pad_w = std::min<int64_t>(pad, (kw - 1) / 2);
+    l.groups = groups;
+    rapid_assert(l.outH() > 0 && l.outW() > 0,
+                 "conv ", name, " collapses the feature map");
+    const int64_t oh = l.outH(), ow = l.outW();
+    net_.layers.push_back(l);
+    c_ = co;
+    h_ = oh;
+    w_ = ow;
+    const int64_t out_elems = co * oh * ow;
+    if (bn)
+        aux(name + ".bn", AuxKind::BatchNorm, out_elems);
+    if (act)
+        aux(name + ".relu", AuxKind::ReLU, out_elems);
+    return *this;
+}
+
+NetBuilder &
+NetBuilder::conv(const std::string &name, int64_t co, int64_t k,
+                 int64_t stride, int64_t pad, int64_t groups, bool bn,
+                 bool act)
+{
+    return convRect(name, co, k, k, stride, pad, groups, bn, act);
+}
+
+NetBuilder &
+NetBuilder::dwConv(const std::string &name, int64_t k, int64_t stride,
+                   int64_t pad)
+{
+    return convRect(name, c_, k, k, stride, pad, /*groups=*/c_);
+}
+
+NetBuilder &
+NetBuilder::maxPool(int64_t k, int64_t stride, int64_t pad)
+{
+    const int64_t oh = (h_ + 2 * pad - k) / stride + 1;
+    const int64_t ow = (w_ + 2 * pad - k) / stride + 1;
+    // Cost scales with window touches: out elems * k^2.
+    aux("maxpool", AuxKind::MaxPool, c_ * oh * ow * k * k);
+    h_ = oh;
+    w_ = ow;
+    return *this;
+}
+
+NetBuilder &
+NetBuilder::avgPool(int64_t k, int64_t stride, int64_t pad)
+{
+    const int64_t oh = (h_ + 2 * pad - k) / stride + 1;
+    const int64_t ow = (w_ + 2 * pad - k) / stride + 1;
+    aux("avgpool", AuxKind::AvgPool, c_ * oh * ow * k * k);
+    h_ = oh;
+    w_ = ow;
+    return *this;
+}
+
+NetBuilder &
+NetBuilder::globalPool()
+{
+    aux("globalpool", AuxKind::AvgPool, c_ * h_ * w_);
+    h_ = 1;
+    w_ = 1;
+    return *this;
+}
+
+NetBuilder &
+NetBuilder::fc(const std::string &name, int64_t out, bool act)
+{
+    Layer l;
+    l.name = name;
+    l.type = LayerType::Gemm;
+    l.gm = 1;
+    l.gk = c_ * h_ * w_;
+    l.gn = out;
+    net_.layers.push_back(l);
+    c_ = out;
+    h_ = 1;
+    w_ = 1;
+    if (act)
+        aux(name + ".relu", AuxKind::ReLU, out);
+    return *this;
+}
+
+NetBuilder &
+NetBuilder::gemm(const std::string &name, int64_t m, int64_t k,
+                 int64_t n, int64_t repeat)
+{
+    Layer l;
+    l.name = name;
+    l.type = LayerType::Gemm;
+    l.gm = m;
+    l.gk = k;
+    l.gn = n;
+    l.repeat = repeat;
+    net_.layers.push_back(l);
+    return *this;
+}
+
+NetBuilder &
+NetBuilder::aux(const std::string &name, AuxKind kind, int64_t elems,
+                int64_t repeat)
+{
+    Layer l;
+    l.name = name;
+    l.type = LayerType::Aux;
+    l.aux_kind = kind;
+    l.aux_elems = elems;
+    l.repeat = repeat;
+    net_.layers.push_back(l);
+    return *this;
+}
+
+NetBuilder &
+NetBuilder::eltwiseAdd(const std::string &name)
+{
+    return aux(name, AuxKind::Eltwise, c_ * h_ * w_);
+}
+
+NetBuilder &
+NetBuilder::upsample(int64_t factor)
+{
+    h_ *= factor;
+    w_ *= factor;
+    return aux("upsample", AuxKind::Upsample, c_ * h_ * w_);
+}
+
+NetBuilder &
+NetBuilder::setGeometry(int64_t channels, int64_t height, int64_t width)
+{
+    c_ = channels;
+    h_ = height;
+    w_ = width;
+    return *this;
+}
+
+Network
+NetBuilder::build() &&
+{
+    rapid_assert(!net_.layers.empty(), "empty network ", net_.name);
+    return std::move(net_);
+}
+
+} // namespace rapid

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fluent builder for network descriptions. Tracks the current feature
+ * map geometry so layers compose like they do in a framework, and
+ * automatically appends the auxiliary (BN / activation / pooling)
+ * layers that accompany compute layers — those are exactly the ops
+ * the SFU arrays execute (Section III-B).
+ */
+
+#ifndef RAPID_WORKLOADS_NET_BUILDER_HH
+#define RAPID_WORKLOADS_NET_BUILDER_HH
+
+#include <string>
+
+#include "workloads/layer.hh"
+
+namespace rapid {
+
+/** Builds a Network layer by layer, tracking (C, H, W) geometry. */
+class NetBuilder
+{
+  public:
+    NetBuilder(std::string name, std::string domain, int64_t channels,
+               int64_t height, int64_t width);
+
+    /**
+     * Convolution followed (optionally) by BatchNorm and ReLU aux
+     * layers. Updates the tracked geometry.
+     */
+    NetBuilder &convRect(const std::string &name, int64_t co,
+                         int64_t kh, int64_t kw, int64_t stride,
+                         int64_t pad, int64_t groups = 1,
+                         bool bn = true, bool act = true);
+
+    /** Square-kernel convenience overload. */
+    NetBuilder &conv(const std::string &name, int64_t co, int64_t k,
+                     int64_t stride, int64_t pad, int64_t groups = 1,
+                     bool bn = true, bool act = true);
+
+    /** Depthwise conv (groups == channels) + BN + ReLU. */
+    NetBuilder &dwConv(const std::string &name, int64_t k,
+                       int64_t stride, int64_t pad);
+
+    /** Max pooling aux layer; updates geometry. */
+    NetBuilder &maxPool(int64_t k, int64_t stride, int64_t pad = 0);
+
+    /** Average pooling aux layer; updates geometry. */
+    NetBuilder &avgPool(int64_t k, int64_t stride, int64_t pad = 0);
+
+    /** Global average pooling: collapses H x W to 1 x 1. */
+    NetBuilder &globalPool();
+
+    /** Fully connected layer from the flattened current geometry. */
+    NetBuilder &fc(const std::string &name, int64_t out,
+                   bool act = false);
+
+    /** Raw GEMM (for attention / recurrent cells). */
+    NetBuilder &gemm(const std::string &name, int64_t m, int64_t k,
+                     int64_t n, int64_t repeat = 1);
+
+    /** Raw auxiliary layer with an explicit element count. */
+    NetBuilder &aux(const std::string &name, AuxKind kind,
+                    int64_t elems, int64_t repeat = 1);
+
+    /** Residual-style elementwise add over the current feature map. */
+    NetBuilder &eltwiseAdd(const std::string &name);
+
+    /** Nearest-neighbour upsample by @p factor; updates geometry. */
+    NetBuilder &upsample(int64_t factor);
+
+    /**
+     * Manually set the tracked geometry (after concats or branch
+     * joins the builder cannot infer).
+     */
+    NetBuilder &setGeometry(int64_t channels, int64_t height,
+                            int64_t width);
+
+    int64_t channels() const { return c_; }
+    int64_t height() const { return h_; }
+    int64_t width() const { return w_; }
+
+    /** Finish and return the network. */
+    Network build() &&;
+
+    /** Access the network under construction (for branch helpers). */
+    Network &net() { return net_; }
+
+  private:
+    Network net_;
+    int64_t c_, h_, w_;
+};
+
+} // namespace rapid
+
+#endif // RAPID_WORKLOADS_NET_BUILDER_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Builders for the 11 benchmark networks of Section V-A:
+ * image classification (VGG16, ResNet50, InceptionV3, InceptionV4,
+ * MobileNetV1), object detection (SSD300, YoloV3, YoloV3-Tiny),
+ * natural language (BERT seq-384, 2-layer LSTM), and speech
+ * (4-layer bidirectional LSTM).
+ *
+ * Shapes follow the standard published architectures; where a paper
+ * hyper-parameter is ambiguous the choice is documented inline and in
+ * DESIGN.md. Each builder returns per-sample layer descriptors; batch
+ * is applied by the performance model.
+ */
+
+#ifndef RAPID_WORKLOADS_NETWORKS_HH
+#define RAPID_WORKLOADS_NETWORKS_HH
+
+#include <vector>
+
+#include "workloads/layer.hh"
+
+namespace rapid {
+
+Network makeVgg16();
+Network makeResnet50();
+Network makeInceptionV3();
+Network makeInceptionV4();
+Network makeMobilenetV1();
+
+Network makeSsd300();
+Network makeYolov3();
+Network makeYolov3Tiny();
+
+/** BERT-base encoder, sequence length 384. */
+Network makeBert(int64_t seq_len = 384);
+
+/** 2-layer LSTM language model (PTB large config: hidden 1500). */
+Network makeLstmPtb(int64_t seq_len = 35);
+
+/** 4-layer bidirectional LSTM acoustic model (SWB300). */
+Network makeBiLstmSwb(int64_t seq_len = 300);
+
+/** All 11 benchmarks in the paper's presentation order. */
+std::vector<Network> allBenchmarks();
+
+/** Look up a benchmark by name; fatal on unknown names. */
+Network benchmarkByName(const std::string &name);
+
+/**
+ * The pruned-model variants used for the sparsity-aware throttling
+ * study (Section V-D): per-layer weight sparsity profiles shaped like
+ * the cited pruning results [55-58] (early layers denser, later
+ * layers sparser), with the given network-average sparsity.
+ */
+void applySparsityProfile(Network &net, double average_sparsity);
+
+/** The pruned benchmark set of Figure 16(b) with network averages. */
+std::vector<std::pair<Network, double>> prunedBenchmarks();
+
+} // namespace rapid
+
+#endif // RAPID_WORKLOADS_NETWORKS_HH

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Image-classification benchmarks: VGG16, ResNet50, InceptionV3,
+ * InceptionV4, MobileNetV1.
+ */
+
+#include "workloads/networks.hh"
+
+#include "workloads/net_builder.hh"
+
+namespace rapid {
+
+Network
+makeVgg16()
+{
+    NetBuilder b("vgg16", "image", 3, 224, 224);
+    auto block = [&](const std::string &prefix, int64_t co, int convs) {
+        for (int i = 0; i < convs; ++i)
+            b.conv(prefix + "_" + std::to_string(i + 1), co, 3, 1, 1,
+                   1, /*bn=*/false, /*act=*/true);
+        b.maxPool(2, 2);
+    };
+    block("conv1", 64, 2);
+    block("conv2", 128, 2);
+    block("conv3", 256, 3);
+    block("conv4", 512, 3);
+    block("conv5", 512, 3);
+    b.fc("fc6", 4096, true).fc("fc7", 4096, true).fc("fc8", 1000);
+    b.aux("softmax", AuxKind::Softmax, 1000);
+    return std::move(b).build();
+}
+
+Network
+makeResnet50()
+{
+    NetBuilder b("resnet50", "image", 3, 224, 224);
+    b.conv("conv1", 64, 7, 2, 3);
+    b.maxPool(3, 2, 1);
+
+    auto bottleneck = [&](const std::string &prefix, int64_t mid,
+                          int64_t out, int64_t stride, bool downsample) {
+        const int64_t in_c = b.channels();
+        const int64_t in_h = b.height(), in_w = b.width();
+        b.conv(prefix + ".conv1", mid, 1, 1, 0);
+        b.conv(prefix + ".conv2", mid, 3, stride, 1);
+        b.conv(prefix + ".conv3", out, 1, 1, 0, 1, true, false);
+        if (downsample) {
+            // Projection shortcut runs in parallel from the block
+            // input; append it with explicit geometry.
+            b.setGeometry(in_c, in_h, in_w);
+            b.conv(prefix + ".downsample", out, 1, stride, 0, 1, true,
+                   false);
+            // Short-cut projection: kept at FP16 by the compiler.
+            b.net().layers[b.net().layers.size() - 2]
+                .accuracy_sensitive = true;
+        }
+        b.eltwiseAdd(prefix + ".add");
+        b.aux(prefix + ".relu", AuxKind::ReLU,
+              b.channels() * b.height() * b.width());
+    };
+
+    auto stage = [&](const std::string &prefix, int64_t mid,
+                     int64_t out, int blocks, int64_t stride) {
+        bottleneck(prefix + ".0", mid, out, stride, true);
+        for (int i = 1; i < blocks; ++i)
+            bottleneck(prefix + "." + std::to_string(i), mid, out, 1,
+                       false);
+    };
+
+    stage("layer1", 64, 256, 3, 1);
+    stage("layer2", 128, 512, 4, 2);
+    stage("layer3", 256, 1024, 6, 2);
+    stage("layer4", 512, 2048, 3, 2);
+    b.globalPool();
+    b.fc("fc", 1000);
+    b.aux("softmax", AuxKind::Softmax, 1000);
+    return std::move(b).build();
+}
+
+namespace {
+
+/**
+ * Helper for Inception-style multi-branch blocks: runs each branch
+ * from the block's input geometry and concatenates channel-wise.
+ * A branch is a list of conv specs {co, kh, kw, stride, pad}.
+ */
+struct ConvSpec
+{
+    int64_t co, kh, kw, stride, pad;
+};
+
+void
+inceptionBlock(NetBuilder &b, const std::string &prefix,
+               const std::vector<std::vector<ConvSpec>> &branches,
+               int64_t pool_proj_co, bool pool_is_max,
+               int64_t pool_stride = 1)
+{
+    const int64_t in_c = b.channels();
+    const int64_t in_h = b.height(), in_w = b.width();
+    int64_t total_co = 0;
+    int64_t out_h = 0, out_w = 0;
+    int branch_idx = 0;
+    for (const auto &branch : branches) {
+        b.setGeometry(in_c, in_h, in_w);
+        int conv_idx = 0;
+        for (const auto &cs : branch) {
+            b.convRect(prefix + ".b" + std::to_string(branch_idx) +
+                           "." + std::to_string(conv_idx),
+                       cs.co, cs.kh, cs.kw, cs.stride, cs.pad);
+            ++conv_idx;
+        }
+        total_co += b.channels();
+        out_h = b.height();
+        out_w = b.width();
+        ++branch_idx;
+    }
+    // Pooling branch (3x3), optionally followed by a 1x1 projection.
+    b.setGeometry(in_c, in_h, in_w);
+    if (pool_is_max)
+        b.maxPool(3, pool_stride, pool_stride == 1 ? 1 : 0);
+    else
+        b.avgPool(3, pool_stride, pool_stride == 1 ? 1 : 0);
+    if (pool_proj_co > 0) {
+        b.conv(prefix + ".pool_proj", pool_proj_co, 1, 1, 0);
+        total_co += pool_proj_co;
+    } else {
+        total_co += in_c; // raw pooled channels pass through
+    }
+    rapid_assert(b.height() == out_h && b.width() == out_w,
+                 prefix, ": branch geometry mismatch (", b.height(),
+                 "x", b.width(), " vs ", out_h, "x", out_w, ")");
+    b.setGeometry(total_co, out_h, out_w);
+    b.aux(prefix + ".concat", AuxKind::DataMove,
+          total_co * out_h * out_w);
+}
+
+} // namespace
+
+Network
+makeInceptionV3()
+{
+    NetBuilder b("inception3", "image", 3, 299, 299);
+    b.conv("stem.conv1", 32, 3, 2, 0);
+    b.conv("stem.conv2", 32, 3, 1, 0);
+    b.conv("stem.conv3", 64, 3, 1, 1);
+    b.maxPool(3, 2);
+    b.conv("stem.conv4", 80, 1, 1, 0);
+    b.conv("stem.conv5", 192, 3, 1, 0);
+    b.maxPool(3, 2);
+
+    // 3x Inception-A at 35x35.
+    for (int i = 0; i < 3; ++i) {
+        int64_t pool_co = (i == 0) ? 32 : 64;
+        inceptionBlock(b, "mixedA" + std::to_string(i),
+                       {{{64, 1, 1, 1, 0}},
+                        {{48, 1, 1, 1, 0}, {64, 5, 5, 1, 2}},
+                        {{64, 1, 1, 1, 0},
+                         {96, 3, 3, 1, 1},
+                         {96, 3, 3, 1, 1}}},
+                       pool_co, /*pool_is_max=*/false);
+    }
+
+    // Reduction-A to 17x17.
+    inceptionBlock(b, "reductionA",
+                   {{{384, 3, 3, 2, 0}},
+                    {{64, 1, 1, 1, 0},
+                     {96, 3, 3, 1, 1},
+                     {96, 3, 3, 2, 0}}},
+                   /*pool_proj=*/0, /*pool_is_max=*/true,
+                   /*pool_stride=*/2);
+
+    // 4x Inception-B at 17x17 with factorized 7x7 convolutions.
+    const int64_t ch7[4] = {128, 160, 160, 192};
+    for (int i = 0; i < 4; ++i) {
+        int64_t c7 = ch7[i];
+        inceptionBlock(b, "mixedB" + std::to_string(i),
+                       {{{192, 1, 1, 1, 0}},
+                        {{c7, 1, 1, 1, 0},
+                         {c7, 1, 7, 1, 3},
+                         {192, 7, 1, 1, 3}},
+                        {{c7, 1, 1, 1, 0},
+                         {c7, 7, 1, 1, 3},
+                         {c7, 1, 7, 1, 3},
+                         {c7, 7, 1, 1, 3},
+                         {192, 1, 7, 1, 3}}},
+                       192, /*pool_is_max=*/false);
+    }
+
+    // Reduction-B to 8x8.
+    inceptionBlock(b, "reductionB",
+                   {{{192, 1, 1, 1, 0}, {320, 3, 3, 2, 0}},
+                    {{192, 1, 1, 1, 0},
+                     {192, 1, 7, 1, 3},
+                     {192, 7, 1, 1, 3},
+                     {192, 3, 3, 2, 0}}},
+                   /*pool_proj=*/0, /*pool_is_max=*/true,
+                   /*pool_stride=*/2);
+
+    // 2x Inception-C at 8x8 (with the split 1x3/3x1 pairs modelled as
+    // both convolutions, matching the published parameter counts).
+    for (int i = 0; i < 2; ++i) {
+        inceptionBlock(b, "mixedC" + std::to_string(i),
+                       {{{320, 1, 1, 1, 0}},
+                        {{384, 1, 1, 1, 0}, {384, 1, 3, 1, 1}},
+                        {{384, 1, 1, 1, 0}, {384, 3, 1, 1, 1}},
+                        {{448, 1, 1, 1, 0},
+                         {384, 3, 3, 1, 1},
+                         {384, 1, 3, 1, 1}},
+                        {{448, 1, 1, 1, 0},
+                         {384, 3, 3, 1, 1},
+                         {384, 3, 1, 1, 1}}},
+                       192, /*pool_is_max=*/false);
+    }
+
+    b.globalPool();
+    b.fc("fc", 1000);
+    b.aux("softmax", AuxKind::Softmax, 1000);
+    return std::move(b).build();
+}
+
+Network
+makeInceptionV4()
+{
+    NetBuilder b("inception4", "image", 3, 299, 299);
+    // Stem (simplified to the sequential trunk with the published
+    // channel counts; the two stem branch-concats are modelled as
+    // their dominant branches plus concat data moves).
+    b.conv("stem.conv1", 32, 3, 2, 0);
+    b.conv("stem.conv2", 32, 3, 1, 0);
+    b.conv("stem.conv3", 64, 3, 1, 1);
+    b.maxPool(3, 2);
+    b.conv("stem.conv4", 96, 3, 2, 0); // parallel to the pool; concat
+    b.setGeometry(160, 73, 73);
+    b.aux("stem.concat1", AuxKind::DataMove, 160 * 73 * 73);
+    b.conv("stem.conv5", 64, 1, 1, 0);
+    b.conv("stem.conv6", 96, 3, 1, 0);
+    b.setGeometry(64, 73, 73);
+    b.conv("stem.conv7", 64, 1, 1, 0);
+    b.convRect("stem.conv8", 64, 7, 1, 1, 3);
+    b.convRect("stem.conv8b", 64, 1, 7, 1, 3);
+    b.conv("stem.conv9", 96, 3, 1, 0);
+    b.setGeometry(192, 71, 71);
+    b.aux("stem.concat2", AuxKind::DataMove, 192 * 71 * 71);
+    b.conv("stem.conv10", 192, 3, 2, 0);
+    b.setGeometry(384, 35, 35);
+    b.aux("stem.concat3", AuxKind::DataMove, 384 * 35 * 35);
+
+    // 4x Inception-A (out 384).
+    for (int i = 0; i < 4; ++i) {
+        inceptionBlock(b, "mixedA" + std::to_string(i),
+                       {{{96, 1, 1, 1, 0}},
+                        {{64, 1, 1, 1, 0}, {96, 3, 3, 1, 1}},
+                        {{64, 1, 1, 1, 0},
+                         {96, 3, 3, 1, 1},
+                         {96, 3, 3, 1, 1}}},
+                       96, /*pool_is_max=*/false);
+    }
+
+    // Reduction-A (out 1024).
+    inceptionBlock(b, "reductionA",
+                   {{{384, 3, 3, 2, 0}},
+                    {{192, 1, 1, 1, 0},
+                     {224, 3, 3, 1, 1},
+                     {256, 3, 3, 2, 0}}},
+                   0, true, 2);
+
+    // 7x Inception-B (out 1024).
+    for (int i = 0; i < 7; ++i) {
+        inceptionBlock(b, "mixedB" + std::to_string(i),
+                       {{{384, 1, 1, 1, 0}},
+                        {{192, 1, 1, 1, 0},
+                         {224, 1, 7, 1, 3},
+                         {256, 7, 1, 1, 3}},
+                        {{192, 1, 1, 1, 0},
+                         {192, 7, 1, 1, 3},
+                         {224, 1, 7, 1, 3},
+                         {224, 7, 1, 1, 3},
+                         {256, 1, 7, 1, 3}}},
+                       128, /*pool_is_max=*/false);
+    }
+
+    // Reduction-B (out 1536).
+    inceptionBlock(b, "reductionB",
+                   {{{192, 1, 1, 1, 0}, {192, 3, 3, 2, 0}},
+                    {{256, 1, 1, 1, 0},
+                     {256, 1, 7, 1, 3},
+                     {320, 7, 1, 1, 3},
+                     {320, 3, 3, 2, 0}}},
+                   0, true, 2);
+
+    // 3x Inception-C (out 1536).
+    for (int i = 0; i < 3; ++i) {
+        inceptionBlock(b, "mixedC" + std::to_string(i),
+                       {{{256, 1, 1, 1, 0}},
+                        {{384, 1, 1, 1, 0}, {256, 1, 3, 1, 1}},
+                        {{384, 1, 1, 1, 0}, {256, 3, 1, 1, 1}},
+                        {{384, 1, 1, 1, 0},
+                         {448, 1, 3, 1, 1},
+                         {512, 3, 1, 1, 1},
+                         {256, 3, 1, 1, 1}},
+                        {{384, 1, 1, 1, 0},
+                         {448, 1, 3, 1, 1},
+                         {512, 3, 1, 1, 1},
+                         {256, 1, 3, 1, 1}}},
+                       256, /*pool_is_max=*/false);
+    }
+
+    b.globalPool();
+    b.fc("fc", 1000);
+    b.aux("softmax", AuxKind::Softmax, 1000);
+    return std::move(b).build();
+}
+
+Network
+makeMobilenetV1()
+{
+    NetBuilder b("mobilenetv1", "image", 3, 224, 224);
+    b.conv("conv1", 32, 3, 2, 1);
+    auto dsep = [&](const std::string &prefix, int64_t co,
+                    int64_t stride) {
+        b.dwConv(prefix + ".dw", 3, stride, 1);
+        b.conv(prefix + ".pw", co, 1, 1, 0);
+    };
+    dsep("block1", 64, 1);
+    dsep("block2", 128, 2);
+    dsep("block3", 128, 1);
+    dsep("block4", 256, 2);
+    dsep("block5", 256, 1);
+    dsep("block6", 512, 2);
+    for (int i = 0; i < 5; ++i)
+        dsep("block" + std::to_string(7 + i), 512, 1);
+    dsep("block12", 1024, 2);
+    dsep("block13", 1024, 1);
+    b.globalPool();
+    b.fc("fc", 1000);
+    b.aux("softmax", AuxKind::Softmax, 1000);
+    return std::move(b).build();
+}
+
+} // namespace rapid

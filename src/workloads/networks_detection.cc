@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Object-detection benchmarks (COCO): SSD300, YoloV3, YoloV3-Tiny.
+ */
+
+#include "workloads/networks.hh"
+
+#include "workloads/net_builder.hh"
+
+namespace rapid {
+
+Network
+makeSsd300()
+{
+    NetBuilder b("ssd300", "detection", 3, 300, 300);
+    // VGG16 backbone through conv5_3 (SSD variant: conv4 pool keeps
+    // 38x38 via ceil mode; pool5 is 3x3 stride 1).
+    auto vblock = [&](const std::string &prefix, int64_t co, int convs) {
+        for (int i = 0; i < convs; ++i)
+            b.conv(prefix + "_" + std::to_string(i + 1), co, 3, 1, 1,
+                   1, false, true);
+    };
+    vblock("conv1", 64, 2);
+    b.maxPool(2, 2);
+    vblock("conv2", 128, 2);
+    b.maxPool(2, 2);
+    vblock("conv3", 256, 3);
+    b.maxPool(2, 2, 1); // ceil mode: 38x38
+    vblock("conv4", 512, 3);
+    const int64_t c4_h = b.height(), c4_w = b.width(); // 38x38 head tap
+    b.maxPool(2, 2);
+    vblock("conv5", 512, 3);
+    b.maxPool(3, 1, 1);
+    // conv6 (dilated 3x3, modelled as 3x3) and conv7.
+    b.conv("conv6", 1024, 3, 1, 1, 1, false, true);
+    b.conv("conv7", 1024, 1, 1, 0, 1, false, true);
+    const int64_t c7_h = b.height(), c7_w = b.width(); // 19x19
+
+    // Extra feature layers.
+    b.conv("conv8_1", 256, 1, 1, 0, 1, false, true);
+    b.conv("conv8_2", 512, 3, 2, 1, 1, false, true); // 10x10
+    const int64_t c8_h = b.height(), c8_w = b.width();
+    b.conv("conv9_1", 128, 1, 1, 0, 1, false, true);
+    b.conv("conv9_2", 256, 3, 2, 1, 1, false, true); // 5x5
+    const int64_t c9_h = b.height(), c9_w = b.width();
+    b.conv("conv10_1", 128, 1, 1, 0, 1, false, true);
+    b.conv("conv10_2", 256, 3, 1, 0, 1, false, true); // 3x3
+    const int64_t c10_h = b.height(), c10_w = b.width();
+    b.conv("conv11_1", 128, 1, 1, 0, 1, false, true);
+    b.conv("conv11_2", 256, 3, 1, 0, 1, false, true); // 1x1
+    const int64_t c11_h = b.height(), c11_w = b.width();
+
+    // Detection heads: per source, loc (boxes*4) + conf (boxes*21).
+    struct HeadSpec
+    {
+        const char *name;
+        int64_t c, h, w, boxes;
+    };
+    const HeadSpec heads[] = {
+        {"conv4_3", 512, c4_h, c4_w, 4},
+        {"conv7", 1024, c7_h, c7_w, 6},
+        {"conv8_2", 512, c8_h, c8_w, 6},
+        {"conv9_2", 256, c9_h, c9_w, 6},
+        {"conv10_2", 256, c10_h, c10_w, 4},
+        {"conv11_2", 256, c11_h, c11_w, 4},
+    };
+    int64_t total_boxes = 0;
+    for (const auto &hs : heads) {
+        b.setGeometry(hs.c, hs.h, hs.w);
+        b.conv(std::string(hs.name) + ".loc", hs.boxes * 4, 3, 1, 1, 1,
+               false, false);
+        b.net().layers.back().accuracy_sensitive = true;
+        b.setGeometry(hs.c, hs.h, hs.w);
+        b.conv(std::string(hs.name) + ".conf", hs.boxes * 21, 3, 1, 1,
+               1, false, false);
+        b.net().layers.back().accuracy_sensitive = true;
+        total_boxes += hs.boxes * hs.h * hs.w;
+    }
+    // Per-box confidence softmax + box decode (postprocessing).
+    b.aux("softmax", AuxKind::Softmax, total_boxes * 21);
+    b.aux("decode", AuxKind::Eltwise, total_boxes * 4);
+    return std::move(b).build();
+}
+
+namespace {
+
+/** Darknet conv: conv + BN + leaky ReLU (costed like ReLU). */
+void
+dnConv(NetBuilder &b, const std::string &name, int64_t co, int64_t k,
+       int64_t stride)
+{
+    b.conv(name, co, k, stride, k / 2);
+}
+
+/** Darknet-53 residual unit: 1x1 squeeze + 3x3 expand + add. */
+void
+dnResidual(NetBuilder &b, const std::string &prefix, int64_t mid)
+{
+    dnConv(b, prefix + ".1x1", mid, 1, 1);
+    dnConv(b, prefix + ".3x3", mid * 2, 3, 1);
+    b.eltwiseAdd(prefix + ".add");
+}
+
+} // namespace
+
+Network
+makeYolov3()
+{
+    NetBuilder b("yolov3", "detection", 3, 416, 416);
+    // Darknet-53 backbone.
+    dnConv(b, "conv0", 32, 3, 1);
+    dnConv(b, "down1", 64, 3, 2);
+    dnResidual(b, "res1.0", 32);
+    dnConv(b, "down2", 128, 3, 2);
+    for (int i = 0; i < 2; ++i)
+        dnResidual(b, "res2." + std::to_string(i), 64);
+    dnConv(b, "down3", 256, 3, 2);
+    for (int i = 0; i < 8; ++i)
+        dnResidual(b, "res3." + std::to_string(i), 128);
+    const int64_t s3_h = b.height(), s3_w = b.width(); // 52x52 route
+    dnConv(b, "down4", 512, 3, 2);
+    for (int i = 0; i < 8; ++i)
+        dnResidual(b, "res4." + std::to_string(i), 256);
+    const int64_t s4_h = b.height(), s4_w = b.width(); // 26x26 route
+    dnConv(b, "down5", 1024, 3, 2);
+    for (int i = 0; i < 4; ++i)
+        dnResidual(b, "res5." + std::to_string(i), 512);
+
+    // Head 1 at 13x13.
+    auto head_convs = [&](const std::string &prefix, int64_t mid) {
+        dnConv(b, prefix + ".c1", mid, 1, 1);
+        dnConv(b, prefix + ".c2", mid * 2, 3, 1);
+        dnConv(b, prefix + ".c3", mid, 1, 1);
+        dnConv(b, prefix + ".c4", mid * 2, 3, 1);
+        dnConv(b, prefix + ".c5", mid, 1, 1);
+    };
+    head_convs("head1", 512);
+    const int64_t h1_h = b.height(), h1_w = b.width();
+    dnConv(b, "head1.c6", 1024, 3, 1);
+    b.conv("head1.out", 255, 1, 1, 0, 1, false, false);
+    b.net().layers.back().accuracy_sensitive = true;
+
+    // Head 2: route from head1.c5, 1x1 256, upsample, concat with s4.
+    b.setGeometry(512, h1_h, h1_w);
+    dnConv(b, "head2.route", 256, 1, 1);
+    b.upsample(2);
+    b.setGeometry(256 + 512, s4_h, s4_w);
+    b.aux("head2.concat", AuxKind::DataMove, (256 + 512) * s4_h * s4_w);
+    head_convs("head2", 256);
+    const int64_t h2_h = b.height(), h2_w = b.width();
+    dnConv(b, "head2.c6", 512, 3, 1);
+    b.conv("head2.out", 255, 1, 1, 0, 1, false, false);
+    b.net().layers.back().accuracy_sensitive = true;
+
+    // Head 3: route from head2.c5, 1x1 128, upsample, concat with s3.
+    b.setGeometry(256, h2_h, h2_w);
+    dnConv(b, "head3.route", 128, 1, 1);
+    b.upsample(2);
+    b.setGeometry(128 + 256, s3_h, s3_w);
+    b.aux("head3.concat", AuxKind::DataMove, (128 + 256) * s3_h * s3_w);
+    head_convs("head3", 128);
+    dnConv(b, "head3.c6", 256, 3, 1);
+    b.conv("head3.out", 255, 1, 1, 0, 1, false, false);
+    b.net().layers.back().accuracy_sensitive = true;
+
+    // YOLO decode: sigmoids over all three scales' outputs.
+    b.aux("yolo.decode", AuxKind::Sigmoid,
+          255 * (13 * 13 + 26 * 26 + 52 * 52));
+    return std::move(b).build();
+}
+
+Network
+makeYolov3Tiny()
+{
+    NetBuilder b("yolov3-tiny", "detection", 3, 416, 416);
+    dnConv(b, "conv0", 16, 3, 1);
+    b.maxPool(2, 2);
+    dnConv(b, "conv1", 32, 3, 1);
+    b.maxPool(2, 2);
+    dnConv(b, "conv2", 64, 3, 1);
+    b.maxPool(2, 2);
+    dnConv(b, "conv3", 128, 3, 1);
+    b.maxPool(2, 2);
+    dnConv(b, "conv4", 256, 3, 1);
+    const int64_t s4_h = b.height(), s4_w = b.width(); // 26x26 route
+    b.maxPool(2, 2);
+    dnConv(b, "conv5", 512, 3, 1);
+    b.maxPool(2, 1, 1); // stride-1 pool keeps 13x13
+    dnConv(b, "conv6", 1024, 3, 1);
+    dnConv(b, "conv7", 256, 1, 1);
+    const int64_t h1_h = b.height(), h1_w = b.width();
+    dnConv(b, "head1.c", 512, 3, 1);
+    b.conv("head1.out", 255, 1, 1, 0, 1, false, false);
+    b.net().layers.back().accuracy_sensitive = true;
+
+    b.setGeometry(256, h1_h, h1_w);
+    dnConv(b, "head2.route", 128, 1, 1);
+    b.upsample(2);
+    b.setGeometry(128 + 256, s4_h, s4_w);
+    b.aux("head2.concat", AuxKind::DataMove, (128 + 256) * s4_h * s4_w);
+    dnConv(b, "head2.c", 256, 3, 1);
+    b.conv("head2.out", 255, 1, 1, 0, 1, false, false);
+    b.net().layers.back().accuracy_sensitive = true;
+
+    b.aux("yolo.decode", AuxKind::Sigmoid,
+          255 * (13 * 13 + 26 * 26));
+    return std::move(b).build();
+}
+
+} // namespace rapid

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Failure-injection and contract tests: the library must fail loudly
+ * (panic/fatal) on misuse instead of producing silent garbage, and
+ * the programmable FP8 bias must actually buy what the paper claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/tiling.hh"
+#include "perf/perf_model.hh"
+#include "power/throttle.hh"
+#include "runtime/session.hh"
+#include "sim/systolic.hh"
+#include "workloads/networks.hh"
+
+namespace rapid {
+namespace {
+
+TEST(Contracts, PerfModelRejectsMismatchedPlan)
+{
+    PerfModel pm(makeInferenceChip());
+    Network net = makeMobilenetV1();
+    ExecutionPlan plan; // empty: wrong length
+    EXPECT_DEATH(pm.evaluate(net, plan, 1), "plan");
+}
+
+TEST(Contracts, PerfModelRejectsFp32ComputeLayers)
+{
+    PerfModel pm(makeInferenceChip());
+    Layer l;
+    l.type = LayerType::Gemm;
+    l.gm = l.gk = l.gn = 8;
+    LayerPlan lp;
+    lp.precision = Precision::FP32;
+    EXPECT_DEATH(pm.evaluateLayer(l, lp, 1, true), "FP32");
+}
+
+TEST(Contracts, SystolicSimIsFpuOnly)
+{
+    EXPECT_DEATH(SystolicArraySim(CoreletConfig{}, Precision::INT4),
+                 "FPU");
+}
+
+TEST(Contracts, TensorBoundsChecked)
+{
+    Tensor t({2, 2});
+    EXPECT_DEATH(t[4], "flat index");
+    EXPECT_DEATH(t.at(0, 0, 0, 0), "rank-4");
+    EXPECT_DEATH(Tensor({0, 4}), "non-positive");
+    EXPECT_DEATH(t.reshaped({3, 3}), "element count");
+}
+
+TEST(Contracts, ThrottleRejectsBadSparsity)
+{
+    PowerModel pw(makeInferenceChip(), 1.5);
+    ThrottlePlanner tp(pw);
+    EXPECT_DEATH(tp.stallRate(1.5), "sparsity");
+    EXPECT_DEATH(tp.stallRate(-0.1), "sparsity");
+}
+
+TEST(Contracts, TilePlannerRejectsAuxLayers)
+{
+    TilePlanner tp(CoreConfig{}, 128.0);
+    Layer aux;
+    aux.type = LayerType::Aux;
+    aux.aux_elems = 10;
+    EXPECT_DEATH(tp.plan(aux, 1, Precision::FP16), "non-compute");
+}
+
+TEST(Contracts, TrainingModelRejectsIntPrecisions)
+{
+    TrainingPerfModel tm(makeTrainingSystem(4));
+    EXPECT_DEATH(tm.evaluate(makeResnet50(), Precision::INT4, 512),
+                 "FP16/HFP8");
+}
+
+TEST(Contracts, Fp8BiasRangeEnforced)
+{
+    EXPECT_DEATH(fp8e4m3(0), "bias");
+    EXPECT_DEATH(fp8e4m3(16), "bias");
+}
+
+/**
+ * The programmable exponent bias (Section III-A.2): layers with
+ * small-magnitude tensors quantize better at high bias, large-
+ * magnitude tensors at low bias — no single bias serves both, which
+ * is why it is software-configurable per layer.
+ */
+TEST(ProgrammableBias, MatchesTensorDynamicRange)
+{
+    Rng rng(55);
+    auto quantize_error = [](const std::vector<float> &vals,
+                             int bias) {
+        FloatFormat fmt = fp8e4m3(bias);
+        double num = 0, den = 0;
+        for (float v : vals) {
+            double q = fmt.quantize(v);
+            num += (q - v) * (q - v);
+            den += double(v) * v;
+        }
+        return std::sqrt(num / den);
+    };
+
+    std::vector<float> small = rng.gaussianVector(4000, 0.0, 0.01);
+    std::vector<float> large = rng.gaussianVector(4000, 0.0, 100.0);
+
+    // Exhaustively find each tensor's best bias.
+    int best_small = 1, best_large = 1;
+    for (int b = 2; b <= 15; ++b) {
+        if (quantize_error(small, b) <
+            quantize_error(small, best_small))
+            best_small = b;
+        if (quantize_error(large, b) <
+            quantize_error(large, best_large))
+            best_large = b;
+    }
+    // Small magnitudes want the range shifted down (higher bias).
+    EXPECT_GT(best_small, best_large + 4);
+    // And the wrong bias is dramatically worse: the fixed-bias
+    // format cannot serve both tensors.
+    EXPECT_GT(quantize_error(small, best_large),
+              5.0 * quantize_error(small, best_small));
+}
+
+/** The compiler-facing knob: MpeDatapath reconfigures per layer. */
+TEST(ProgrammableBias, DatapathReconfiguresBetweenLayers)
+{
+    MpeDatapath dp(4);
+    const float tiny = 0.001f;
+    float coarse = dp.toFp9(tiny, Fp8Kind::Forward);
+    dp.setForwardBias(12); // shift range down for a small-valued layer
+    float fine = dp.toFp9(tiny, Fp8Kind::Forward);
+    EXPECT_LT(std::abs(fine - tiny), std::abs(coarse - tiny));
+}
+
+TEST(Contracts, SessionRunsEveryBenchmarkAtEveryPrecision)
+{
+    // Broad smoke coverage: no benchmark/precision combination may
+    // panic or produce non-finite results.
+    ChipConfig chip = makeInferenceChip();
+    for (const auto &net : allBenchmarks()) {
+        InferenceSession session(chip, net);
+        for (auto p : {Precision::FP16, Precision::HFP8,
+                       Precision::INT4, Precision::INT2}) {
+            InferenceOptions opts;
+            opts.target = p;
+            InferenceResult r = session.run(opts);
+            EXPECT_TRUE(std::isfinite(r.perf.total_seconds))
+                << net.name << " " << precisionName(p);
+            EXPECT_GT(r.perf.total_seconds, 0.0)
+                << net.name << " " << precisionName(p);
+            EXPECT_TRUE(std::isfinite(r.energy.tops_per_w))
+                << net.name << " " << precisionName(p);
+        }
+    }
+}
+
+} // namespace
+} // namespace rapid

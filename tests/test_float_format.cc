@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Unit and property tests for the reduced-precision float codecs.
+ * The 8/9-bit formats are small enough to test exhaustively, which is
+ * how we prove the on-the-fly FP8 -> FP9 conversion of the MPE input
+ * stage is exact (Section III-A.2).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "precision/float_format.hh"
+
+namespace rapid {
+namespace {
+
+TEST(DlFloat16, BasicConstants)
+{
+    const FloatFormat &f = dlfloat16();
+    EXPECT_EQ(f.storageBits(), 16u);
+    EXPECT_EQ(f.expBits(), 6u);
+    EXPECT_EQ(f.manBits(), 9u);
+    EXPECT_EQ(f.bias(), 31);
+    // Max finite: 2^(62-31) * (2 - 2^-9)
+    EXPECT_FLOAT_EQ(f.maxFinite(), std::ldexp(2.0f - std::ldexp(1.0f, -9),
+                                              31));
+    EXPECT_FALSE(f.hasSubnormals());
+}
+
+TEST(DlFloat16, ExactSmallIntegers)
+{
+    const FloatFormat &f = dlfloat16();
+    // 10-bit significand: integers up to 1024 are exact.
+    for (int i = -1024; i <= 1024; ++i)
+        EXPECT_EQ(f.quantize(float(i)), float(i)) << "i=" << i;
+}
+
+TEST(DlFloat16, RoundToNearestEvenTies)
+{
+    const FloatFormat &f = dlfloat16();
+    // 1025 is halfway between 1024 and 1026; RNE picks the even 1024.
+    EXPECT_EQ(f.quantize(1025.0f, Rounding::NearestEven), 1024.0f);
+    // 1027 is halfway between 1026 and 1028; RNE picks 1028.
+    EXPECT_EQ(f.quantize(1027.0f, Rounding::NearestEven), 1028.0f);
+    // NearestUp ties away from zero.
+    EXPECT_EQ(f.quantize(1025.0f, Rounding::NearestUp), 1026.0f);
+    EXPECT_EQ(f.quantize(-1025.0f, Rounding::NearestUp), -1026.0f);
+    // Truncation drops toward zero.
+    EXPECT_EQ(f.quantize(1025.9f, Rounding::Truncate), 1024.0f);
+}
+
+TEST(DlFloat16, SaturatesOnOverflow)
+{
+    const FloatFormat &f = dlfloat16();
+    EXPECT_EQ(f.quantize(1e30f), f.maxFinite());
+    EXPECT_EQ(f.quantize(-1e30f), -f.maxFinite());
+}
+
+TEST(DlFloat16, FlushesToZeroBelowMinNormal)
+{
+    const FloatFormat &f = dlfloat16();
+    EXPECT_EQ(f.quantize(f.minNormal()), f.minNormal());
+    EXPECT_EQ(f.quantize(f.minNormal() * 0.25f), 0.0f);
+    // The zero-encoding collision: 2^-31 itself is not representable.
+    EXPECT_EQ(f.quantize(std::ldexp(1.0f, -31)), 0.0f);
+}
+
+TEST(DlFloat16, NanHandling)
+{
+    const FloatFormat &f = dlfloat16();
+    uint32_t nan_bits = f.encode(std::nanf(""));
+    EXPECT_TRUE(f.isNan(nan_bits));
+    EXPECT_TRUE(std::isnan(f.decode(nan_bits)));
+    // Infinity maps to the merged NaN/Inf symbol.
+    uint32_t inf_bits = f.encode(std::numeric_limits<float>::infinity());
+    EXPECT_TRUE(f.isNan(inf_bits));
+}
+
+TEST(DlFloat16, SignedZeroPreserved)
+{
+    const FloatFormat &f = dlfloat16();
+    EXPECT_EQ(f.encode(0.0f), 0u);
+    EXPECT_EQ(f.encode(-0.0f), 0x8000u);
+    EXPECT_TRUE(std::signbit(f.decode(0x8000u)));
+}
+
+TEST(IeeeHalf, MatchesKnownEncodings)
+{
+    const FloatFormat &f = ieeeHalf();
+    EXPECT_EQ(f.encode(1.0f), 0x3c00u);
+    EXPECT_EQ(f.encode(2.0f), 0x4000u);
+    EXPECT_EQ(f.encode(-1.5f), 0xbe00u);
+    EXPECT_EQ(f.encode(65504.0f), 0x7bffu);
+    // Smallest subnormal: 2^-24.
+    EXPECT_EQ(f.encode(std::ldexp(1.0f, -24)), 0x0001u);
+    EXPECT_FLOAT_EQ(f.decode(0x0001u), std::ldexp(1.0f, -24));
+}
+
+/** Exhaustive round-trip: decode(p) must re-encode to p. */
+void
+checkRoundTripExhaustive(const FloatFormat &f)
+{
+    for (uint32_t p = 0; p < f.numEncodings(); ++p) {
+        float v = f.decode(p);
+        if (f.isNan(p)) {
+            EXPECT_TRUE(std::isnan(v));
+            continue;
+        }
+        uint32_t back = f.encode(v);
+        if (v == 0.0f) {
+            // Zero-reading patterns canonicalize to the zero encoding.
+            EXPECT_EQ(back & ~(1u << (f.storageBits() - 1)), 0u)
+                << f.name() << " p=" << p;
+            continue;
+        }
+        EXPECT_EQ(back, p) << f.name() << " p=" << p << " v=" << v;
+    }
+}
+
+/** Exhaustive monotonicity of positive decodes (format is ordered). */
+void
+checkMonotonic(const FloatFormat &f)
+{
+    float prev = 0.0f;
+    uint32_t max_exp_pattern =
+        f.numEncodings() / 2 - 1; // positive patterns end here
+    for (uint32_t p = 1; p <= max_exp_pattern; ++p) {
+        if (f.isNan(p))
+            continue;
+        float v = f.decode(p);
+        EXPECT_GE(v, prev) << f.name() << " p=" << p;
+        prev = v;
+    }
+}
+
+class SmallFormatTest : public ::testing::TestWithParam<FloatFormat>
+{
+};
+
+TEST_P(SmallFormatTest, RoundTripExhaustive)
+{
+    checkRoundTripExhaustive(GetParam());
+}
+
+TEST_P(SmallFormatTest, MonotonicDecode)
+{
+    checkMonotonic(GetParam());
+}
+
+TEST_P(SmallFormatTest, QuantizeIsIdempotent)
+{
+    const FloatFormat &f = GetParam();
+    Rng rng(42);
+    for (int i = 0; i < 2000; ++i) {
+        float x = float(rng.gaussian(0.0, 2.0));
+        float q = f.quantize(x);
+        EXPECT_EQ(f.quantize(q), q) << f.name() << " x=" << x;
+    }
+}
+
+TEST_P(SmallFormatTest, RelativeErrorBounded)
+{
+    const FloatFormat &f = GetParam();
+    Rng rng(43);
+    // For values in the normal range, relative error <= 2^-(man+1).
+    double bound = std::ldexp(1.0, -int(f.manBits()) - 1) * 1.0000001;
+    for (int i = 0; i < 5000; ++i) {
+        double mag = std::exp(rng.uniform(std::log(double(f.minNormal())),
+                                          std::log(double(f.maxFinite()) /
+                                                   2)));
+        float x = float(rng.uniform() < 0.5 ? -mag : mag);
+        float q = f.quantize(x);
+        EXPECT_LE(std::abs(double(q) - x), bound * std::abs(x) * (1 + 1e-6))
+            << f.name() << " x=" << x << " q=" << q;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, SmallFormatTest,
+    ::testing::Values(fp8e4m3(4), fp8e4m3(1), fp8e4m3(7), fp8e4m3(15),
+                      fp8e5m2(), fp9(), dlfloat16(), ieeeHalf()),
+    [](const ::testing::TestParamInfo<FloatFormat> &info) {
+        std::string n = info.param.name();
+        for (auto &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+/**
+ * The key datapath property: every FP8 value (both flavours, every
+ * legal programmable bias) converts to FP9 (1,5,3) exactly.
+ */
+TEST(Fp9Conversion, ExactForAllFp8Forward)
+{
+    for (int bias = 1; bias <= 15; ++bias) {
+        FloatFormat f8 = fp8e4m3(bias);
+        for (uint32_t p = 0; p < f8.numEncodings(); ++p) {
+            if (f8.isNan(p))
+                continue;
+            float v = f8.decode(p);
+            EXPECT_EQ(fp9().quantize(v), v)
+                << "bias=" << bias << " p=" << p << " v=" << v;
+        }
+    }
+}
+
+TEST(Fp9Conversion, ExactForAllFp8Backward)
+{
+    const FloatFormat &f8 = fp8e5m2();
+    for (uint32_t p = 0; p < f8.numEncodings(); ++p) {
+        if (f8.isNan(p))
+            continue;
+        float v = f8.decode(p);
+        EXPECT_EQ(fp9().quantize(v), v) << "p=" << p << " v=" << v;
+    }
+}
+
+/** Programmable bias shifts the representable range as intended. */
+TEST(Fp8Forward, ProgrammableBiasShiftsRange)
+{
+    FloatFormat lo_bias = fp8e4m3(1);
+    FloatFormat hi_bias = fp8e4m3(11);
+    // Raising the bias by 10 scales the whole range down by 2^10.
+    EXPECT_FLOAT_EQ(hi_bias.maxFinite(),
+                    lo_bias.maxFinite() / std::ldexp(1.0f, 10));
+    EXPECT_FLOAT_EQ(hi_bias.minPositive(),
+                    lo_bias.minPositive() / std::ldexp(1.0f, 10));
+}
+
+TEST(Fp8Forward, SubnormalsRepresented)
+{
+    FloatFormat f8 = fp8e4m3(4);
+    // Min subnormal = 2^(1-4) * 2^-3 = 2^-6.
+    EXPECT_FLOAT_EQ(f8.minPositive(), std::ldexp(1.0f, -6));
+    EXPECT_EQ(f8.quantize(std::ldexp(1.0f, -6)), std::ldexp(1.0f, -6));
+    // Half of it rounds to it or to zero, never elsewhere.
+    float half = std::ldexp(1.0f, -7);
+    float q = f8.quantize(half);
+    EXPECT_TRUE(q == 0.0f || q == f8.minPositive());
+}
+
+TEST(Fp8Backward, WiderDynamicRangeThanForward)
+{
+    // The (1,5,2) gradient format trades mantissa for range.
+    EXPECT_GT(fp8e5m2().maxFinite(), fp8e4m3(4).maxFinite());
+    EXPECT_LT(fp8e5m2().minPositive(), fp8e4m3(4).minPositive());
+}
+
+
+/**
+ * The MPE output-path property: every FP8 and FP9 value is exactly
+ * representable in DLFloat16, so results and partial sums never lose
+ * information crossing to the 16-bit south bus.
+ */
+TEST(CrossFormat, DlFloat16RepresentsAllFp8AndFp9)
+{
+    for (const FloatFormat &f8 :
+         {fp8e4m3(1), fp8e4m3(4), fp8e4m3(15), fp8e5m2(), fp9()}) {
+        for (uint32_t p = 0; p < f8.numEncodings(); ++p) {
+            if (f8.isNan(p))
+                continue;
+            float v = f8.decode(p);
+            EXPECT_EQ(dlfloat16().quantize(v), v)
+                << f8.name() << " p=" << p;
+        }
+    }
+}
+
+/** Rounding-mode contracts hold for every format. */
+TEST(CrossFormat, RoundingModeContracts)
+{
+    Rng rng(101);
+    for (const FloatFormat &fmt :
+         {fp8e4m3(4), fp8e5m2(), dlfloat16()}) {
+        for (int i = 0; i < 3000; ++i) {
+            float x = float(rng.gaussian(0.0, 1.5));
+            float trunc = fmt.quantize(x, Rounding::Truncate);
+            float rne = fmt.quantize(x, Rounding::NearestEven);
+            float rnu = fmt.quantize(x, Rounding::NearestUp);
+            // Truncation never increases magnitude.
+            EXPECT_LE(std::abs(trunc), std::abs(x) + 1e-12)
+                << fmt.name();
+            // Nearest modes are at least as close as truncation.
+            EXPECT_LE(std::abs(rne - x), std::abs(trunc - x) + 1e-12)
+                << fmt.name();
+            // The two nearest modes only ever differ at exact ties.
+            if (rne != rnu) {
+                EXPECT_FLOAT_EQ(std::abs(rne - x), std::abs(rnu - x))
+                    << fmt.name() << " x=" << x;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace rapid

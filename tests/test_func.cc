@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the functional simulator: reduced-precision executors
+ * against the FP32 golden operators, and the precision-parity
+ * experiments that reproduce the paper's algorithmic claims
+ * (Sections II-B and II-C).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "func/datasets.hh"
+#include "func/quantized_ops.hh"
+#include "func/trainer.hh"
+
+namespace rapid {
+namespace {
+
+Tensor
+randomTensor(Rng &rng, std::vector<int64_t> shape, double stddev = 0.5)
+{
+    Tensor t(std::move(shape));
+    t.fillGaussian(rng, 0.0, stddev);
+    return t;
+}
+
+TEST(Fp16Exec, MatmulCloseToGolden)
+{
+    Rng rng(1);
+    Tensor a = randomTensor(rng, {8, 32});
+    Tensor b = randomTensor(rng, {32, 8});
+    Tensor ref = matmul(a, b);
+    Tensor got = fp16Matmul(a, b);
+    // DLFloat16 has a 10-bit significand: per-GEMM relative error stays
+    // in the low 1e-3 range for K=32 reductions.
+    EXPECT_LT(relativeL2(got, ref), 5e-3);
+}
+
+TEST(Fp16Exec, ConvCloseToGolden)
+{
+    Rng rng(2);
+    Tensor x = randomTensor(rng, {1, 4, 6, 6});
+    Tensor w = randomTensor(rng, {5, 4, 3, 3});
+    ConvParams p;
+    p.pad = 1;
+    Tensor ref = conv2d(x, w, p);
+    Tensor got = fp16Conv2d(x, w, p);
+    EXPECT_LT(relativeL2(got, ref), 5e-3);
+}
+
+TEST(Hfp8Exec, MatmulErrorMatchesFormatResolution)
+{
+    Rng rng(3);
+    Tensor a = randomTensor(rng, {8, 64});
+    Tensor b = randomTensor(rng, {64, 8});
+    Tensor ref = matmul(a, b);
+    Tensor got = hfp8Matmul(a, Fp8Kind::Forward, b, Fp8Kind::Forward);
+    double err = relativeL2(got, ref);
+    // 3-bit mantissas: expect a few percent, far better than garbage.
+    EXPECT_LT(err, 0.08);
+    EXPECT_GT(err, 1e-5); // and it must actually be quantized
+}
+
+TEST(Hfp8Exec, BackwardFormatHandlesWiderRange)
+{
+    Rng rng(4);
+    // Gradient-like tensors with large dynamic range.
+    Tensor g({4, 32});
+    for (int64_t i = 0; i < g.numel(); ++i)
+        g[i] = float(rng.gaussian() * std::pow(10.0, rng.uniform(-1, 4)));
+    Tensor w = randomTensor(rng, {32, 4});
+    Tensor ref = matmul(g, w);
+    Tensor fwd_fmt = hfp8Matmul(g, Fp8Kind::Forward, w,
+                                Fp8Kind::Forward);
+    Tensor bwd_fmt = hfp8Matmul(g, Fp8Kind::Backward, w,
+                                Fp8Kind::Forward);
+    // Values up to ~1e4 saturate the forward format (max 1920 at
+    // bias 4); the (1,5,2) error format must track the reference
+    // better than forcing gradients through the forward format.
+    EXPECT_LT(relativeL2(bwd_fmt, ref), relativeL2(fwd_fmt, ref));
+}
+
+TEST(Hfp8Exec, MatmulEquivalentToDatapathFma)
+{
+    // Cross-check the tensor executor against the scalar datapath on a
+    // single dot product with chunk size 1 ... K.
+    Rng rng(5);
+    Tensor a = randomTensor(rng, {1, 16});
+    Tensor b = randomTensor(rng, {16, 1});
+    ExecConfig cfg;
+    cfg.chunk_size = 1024; // single chunk: pure FP16 accumulation
+    Tensor got = hfp8Matmul(a, Fp8Kind::Forward, b, Fp8Kind::Forward,
+                            cfg);
+    MpeDatapath dp(cfg.fwd_bias);
+    float acc = 0.0f;
+    for (int64_t k = 0; k < 16; ++k)
+        acc = dp.hfp8Fma(a[k], Fp8Kind::Forward, b[k], Fp8Kind::Forward,
+                         acc);
+    EXPECT_FLOAT_EQ(got[0], acc);
+}
+
+TEST(IntExec, MatmulCloseToGoldenOnClippedData)
+{
+    Rng rng(6);
+    // PACT regime: non-negative activations within the clip range.
+    Tensor a({8, 64});
+    for (int64_t i = 0; i < a.numel(); ++i)
+        a[i] = float(std::abs(rng.gaussian(0.0, 1.2)));
+    Tensor b = randomTensor(rng, {64, 8}, 0.4);
+    PactQuantizer act_q(4.0f, 4);
+    SawbQuantizer wt_q(b.storage(), 4);
+    Tensor ref = matmul(a, b);
+    Tensor got = intMatmul(a, act_q, b, wt_q, 4);
+    // 4-bit operands on both sides: low-tens-of-percent element error
+    // that partially cancels over the K=64 reduction.
+    EXPECT_LT(relativeL2(got, ref), 0.25);
+}
+
+TEST(IntExec, Int2CoarserThanInt4)
+{
+    Rng rng(7);
+    Tensor a({8, 64});
+    for (int64_t i = 0; i < a.numel(); ++i)
+        a[i] = float(std::abs(rng.gaussian(0.0, 1.0)));
+    Tensor b = randomTensor(rng, {64, 8}, 0.4);
+    Tensor ref = matmul(a, b);
+    PactQuantizer a4(3.0f, 4), a2(3.0f, 2);
+    SawbQuantizer w4(b.storage(), 4), w2(b.storage(), 2);
+    double err4 = relativeL2(intMatmul(a, a4, b, w4, 4), ref);
+    double err2 = relativeL2(intMatmul(a, a2, b, w2, 2), ref);
+    EXPECT_LT(err4, err2);
+}
+
+TEST(IntExec, ConvMatchesMatmulForOneByOneKernel)
+{
+    Rng rng(8);
+    // A 1x1 convolution is a GEMM over channels; both executors must
+    // produce identical quantized results.
+    const int64_t ci = 16, co = 6, hw = 3;
+    Tensor x({1, ci, hw, hw});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] = float(std::abs(rng.gaussian(0.0, 1.0)));
+    Tensor w = randomTensor(rng, {co, ci, 1, 1}, 0.4);
+    PactQuantizer act_q(3.0f, 4);
+    SawbQuantizer wt_q(w.storage(), 4);
+    Tensor conv_out = intConv2d(x, act_q, w, wt_q, 4);
+
+    // Build the equivalent GEMM: (H*W, Ci) x (Ci, Co).
+    Tensor a({hw * hw, ci});
+    for (int64_t c = 0; c < ci; ++c)
+        for (int64_t p = 0; p < hw * hw; ++p)
+            a.at(p, c) = x[c * hw * hw + p];
+    Tensor b({ci, co});
+    for (int64_t c = 0; c < ci; ++c)
+        for (int64_t o = 0; o < co; ++o)
+            b.at(c, o) = w[o * ci + c];
+    Tensor gemm_out = intMatmul(a, act_q, b, wt_q, 4);
+
+    for (int64_t o = 0; o < co; ++o)
+        for (int64_t p = 0; p < hw * hw; ++p)
+            EXPECT_FLOAT_EQ(conv_out[o * hw * hw + p], gemm_out.at(p, o))
+                << "o=" << o << " p=" << p;
+}
+
+TEST(IntExec, ChunkSaturationEngages)
+{
+    // Max-level operands accumulated far past INT16: the saturating
+    // chunk boundary must cap the result.
+    const int64_t k = 4096;
+    Tensor a({1, k}), b({k, 1});
+    a.fill(100.0f); // clips to PACT alpha
+    b.fill(100.0f); // clips to SaWB alpha
+    PactQuantizer act_q(1.0f, 4);
+    std::vector<float> wts(size_t(k), 1.0f);
+    wts[0] = -1.0f; // avoid degenerate all-equal tensor
+    SawbQuantizer wt_q(wts, 4);
+    ExecConfig cfg;
+    cfg.chunk_size = k; // one giant chunk -> saturates at INT16_MAX
+    Tensor y = intMatmul(a, act_q, b, wt_q, 4, cfg);
+    float expect = dlfloat16().quantize(float(INT16_MAX) * act_q.scale() *
+                                        wt_q.scale());
+    EXPECT_FLOAT_EQ(y[0], expect);
+}
+
+TEST(Datasets, SpiralsShapeAndLabels)
+{
+    Rng rng(10);
+    Dataset ds = makeSpirals(rng, 100);
+    EXPECT_EQ(ds.size(), 200);
+    EXPECT_EQ(ds.featureDim(), 2);
+    int count1 = 0;
+    for (int l : ds.labels) {
+        EXPECT_TRUE(l == 0 || l == 1);
+        count1 += l;
+    }
+    EXPECT_EQ(count1, 100);
+}
+
+TEST(Datasets, BlobsAreLearnableByCentroid)
+{
+    Rng rng(11);
+    Dataset ds = makeBlobs(rng, 4, 8, 50);
+    EXPECT_EQ(ds.size(), 200);
+    EXPECT_EQ(ds.featureDim(), 8);
+}
+
+TEST(Trainer, Fp32LearnsSpirals)
+{
+    Rng rng(12);
+    Dataset train = makeSpirals(rng, 256);
+    Dataset test = makeSpirals(rng, 128);
+    MlpConfig cfg;
+    cfg.dims = {2, 48, 48, 2};
+    cfg.seed = 7;
+    Mlp model(cfg);
+    model.train(train, 60, 32);
+    EXPECT_GT(model.evaluate(test), 0.9);
+}
+
+TEST(Trainer, Hfp8TrainingParity)
+{
+    // The Section II-B claim at laptop scale: HFP8 training reaches
+    // accuracy equivalent to FP32 training.
+    Rng rng(13);
+    Dataset train = makeSpirals(rng, 256);
+    Dataset test = makeSpirals(rng, 128);
+    ParityResult r = runTrainingParity(TrainPrecision::HFP8, train, test,
+                                       60, 32);
+    EXPECT_GT(r.baseline_accuracy, 0.9);
+    EXPECT_GT(r.reduced_accuracy, 0.9);
+    EXPECT_LT(r.gap(), 0.05);
+}
+
+TEST(Trainer, Fp16TrainingParity)
+{
+    Rng rng(14);
+    Dataset train = makeSpirals(rng, 256);
+    Dataset test = makeSpirals(rng, 128);
+    ParityResult r = runTrainingParity(TrainPrecision::FP16, train, test,
+                                       60, 32);
+    EXPECT_LT(r.gap(), 0.03);
+}
+
+TEST(Trainer, Int4InferenceParity)
+{
+    // The Section II-C claim: PACT + SaWB INT4 inference matches FP32
+    // with negligible accuracy loss.
+    Rng rng(15);
+    Dataset train = makeSpirals(rng, 256);
+    Dataset test = makeSpirals(rng, 128);
+    ParityResult r = runInferenceParity(4, train, test, 60, 32);
+    EXPECT_GT(r.baseline_accuracy, 0.9);
+    // The paper reports "negligible" INT4 loss on large redundant
+    // models; a 48-unit toy MLP is more sensitive, so allow a few
+    // points of headroom.
+    EXPECT_LT(r.gap(), 0.07);
+}
+
+TEST(Trainer, Int2InferenceDegradesGracefully)
+{
+    // INT2 carries ~2% loss in the paper on large redundant models; a
+    // toy MLP is far more quantization-sensitive, so we use the easier
+    // blobs task and only assert INT2 stays usable.
+    Rng rng(16);
+    Dataset all = makeBlobs(rng, 4, 8, 192);
+    Dataset train = all.slice(0, 512);
+    Dataset test = all.slice(512, 256);
+    ParityResult r = runInferenceParity(2, train, test, 40, 32);
+    EXPECT_GT(r.baseline_accuracy, 0.9);
+    EXPECT_GT(r.reduced_accuracy, 0.75);
+}
+
+TEST(Trainer, PactAlphaIsLearned)
+{
+    Rng rng(17);
+    Dataset train = makeSpirals(rng, 128);
+    MlpConfig cfg;
+    cfg.dims = {2, 32, 32, 2};
+    cfg.pact_alpha_init = 1.0f;
+    Mlp model(cfg);
+    model.train(train, 30, 32);
+    // The learned clip should move off its init for at least one layer.
+    bool moved = false;
+    for (size_t i = 0; i + 1 < model.numLayers(); ++i)
+        if (std::abs(model.pactAlpha(i) - cfg.pact_alpha_init) > 1e-3f)
+            moved = true;
+    EXPECT_TRUE(moved);
+}
+
+} // namespace
+} // namespace rapid

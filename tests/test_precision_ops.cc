@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Tests for the MPE datapath emulation, chunk-based accumulation, and
+ * the PACT / SaWB quantizers.
+ */
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "precision/chunk_accumulator.hh"
+#include "precision/int_format.hh"
+#include "precision/mpe_datapath.hh"
+#include "precision/quantize.hh"
+
+namespace rapid {
+namespace {
+
+TEST(MpeDatapath, Fp16FmaExactWhenRepresentable)
+{
+    MpeDatapath dp;
+    EXPECT_FLOAT_EQ(dp.fp16Fma(2.0f, 3.0f, 4.0f), 10.0f);
+    EXPECT_FLOAT_EQ(dp.fp16Fma(-1.5f, 2.0f, 0.0f), -3.0f);
+}
+
+TEST(MpeDatapath, Fp16FmaRoundsOnce)
+{
+    MpeDatapath dp;
+    // 1024 + 1 is a tie at the 10-bit significand: RNE keeps 1024.
+    EXPECT_FLOAT_EQ(dp.fp16Fma(1.0f, 1.0f, 1024.0f), 1024.0f);
+    // 1026 + 1 ties toward 1028 under RNE.
+    EXPECT_FLOAT_EQ(dp.fp16Fma(1.0f, 1.0f, 1026.0f), 1028.0f);
+}
+
+TEST(MpeDatapath, ZeroGatingBypassesAndCounts)
+{
+    MpeDatapath dp;
+    EXPECT_FLOAT_EQ(dp.fp16Fma(0.0f, 5.0f, 7.25f), 7.25f);
+    EXPECT_FLOAT_EQ(dp.fp16Fma(5.0f, 0.0f, -2.5f), -2.5f);
+    EXPECT_FLOAT_EQ(dp.fp16Fma(2.0f, 2.0f, 1.0f), 5.0f);
+    EXPECT_EQ(dp.fmaCount(), 3u);
+    EXPECT_EQ(dp.zeroGatedCount(), 2u);
+    dp.resetCounters();
+    EXPECT_EQ(dp.fmaCount(), 0u);
+}
+
+TEST(MpeDatapath, Hfp8ZeroGatingTriggersOnUnderflowedOperands)
+{
+    MpeDatapath dp(/*fwd_bias=*/4);
+    // A value far below the FP8 subnormal range quantizes to zero, so
+    // the pipeline gates even though the original float was non-zero.
+    float tiny = 1e-9f;
+    EXPECT_FLOAT_EQ(
+        dp.hfp8Fma(tiny, Fp8Kind::Forward, 1.0f, Fp8Kind::Forward, 3.0f),
+        3.0f);
+    EXPECT_EQ(dp.zeroGatedCount(), 1u);
+}
+
+TEST(MpeDatapath, Hfp8FmaQuantizesOperands)
+{
+    MpeDatapath dp(4);
+    // 1.1 is not representable in fp8(1,4,3); 1.0 and 1.125 are its
+    // neighbours. The FMA must use the quantized operand.
+    float q = fp8e4m3(4).quantize(1.1f);
+    EXPECT_FLOAT_EQ(dp.hfp8Fma(1.1f, Fp8Kind::Forward, 2.0f,
+                               Fp8Kind::Forward, 0.0f),
+                    q * 2.0f);
+}
+
+TEST(MpeDatapath, Hfp8MixedFormatsUsedInBackwardPass)
+{
+    MpeDatapath dp(4);
+    // 20000 saturates the forward format (max 1920 at bias 4) but is
+    // representable in the (1,5,2) backward format (max 57344).
+    float fwd_sat = fp8e4m3(4).maxFinite();
+    EXPECT_FLOAT_EQ(dp.hfp8Fma(20000.0f, Fp8Kind::Forward, 1.0f,
+                               Fp8Kind::Forward, 0.0f),
+                    fwd_sat);
+    float bwd = dp.hfp8Fma(20000.0f, Fp8Kind::Backward, 1.0f,
+                           Fp8Kind::Forward, 0.0f);
+    EXPECT_FLOAT_EQ(bwd, fp8e5m2().quantize(20000.0f));
+    EXPECT_GT(bwd, fwd_sat);
+}
+
+TEST(MpeDatapath, ProgrammableBiasChangesForwardRange)
+{
+    MpeDatapath dp(4);
+    float v = 3000.0f; // above max finite (1920) at bias 4
+    EXPECT_FLOAT_EQ(dp.toFp9(v, Fp8Kind::Forward), fp8e4m3(4).maxFinite());
+    dp.setForwardBias(1);
+    // Bias 1 extends the range to 2^13 * 1.875 = 15360, so 3000 now
+    // quantizes normally instead of saturating.
+    EXPECT_FLOAT_EQ(dp.toFp9(v, Fp8Kind::Forward),
+                    fp8e4m3(1).quantize(3000.0f));
+    EXPECT_LT(dp.toFp9(v, Fp8Kind::Forward) - 3000.0f, 3000.0f * 0.07f);
+}
+
+TEST(MpeDatapath, IntMacAccumulates)
+{
+    MpeDatapath dp;
+    int64_t acc = 0;
+    acc = dp.intMac(7, -7, acc, 4);
+    acc = dp.intMac(-8 + 1, -7, acc, 4); // -7 * -7
+    EXPECT_EQ(acc, -49 + 49);
+    acc = dp.intMac(1, 1, acc, 2);
+    EXPECT_EQ(acc, 1);
+}
+
+TEST(IntFormat, SymmetricRanges)
+{
+    EXPECT_EQ(int4().maxLevel(), 7);
+    EXPECT_EQ(int4().minLevel(), -7);
+    EXPECT_EQ(int2().maxLevel(), 1);
+    EXPECT_EQ(int2().minLevel(), -1);
+}
+
+TEST(IntFormat, QuantizeLevelRoundsAndClamps)
+{
+    const IntFormat &f = int4();
+    EXPECT_EQ(f.quantizeLevel(0.49f, 1.0f), 0);
+    EXPECT_EQ(f.quantizeLevel(0.51f, 1.0f), 1);
+    EXPECT_EQ(f.quantizeLevel(-3.6f, 1.0f), -4);
+    EXPECT_EQ(f.quantizeLevel(100.0f, 1.0f), 7);
+    EXPECT_EQ(f.quantizeLevel(-100.0f, 1.0f), -7);
+}
+
+TEST(IntFormat, SaturateToInt16)
+{
+    EXPECT_EQ(saturateToInt16(40000), INT16_MAX);
+    EXPECT_EQ(saturateToInt16(-40000), INT16_MIN);
+    EXPECT_EQ(saturateToInt16(1234), 1234);
+}
+
+TEST(ChunkAccumulator, ExactForShortSums)
+{
+    ChunkAccumulator acc(64, true);
+    for (int i = 0; i < 32; ++i)
+        acc.add(1.0);
+    EXPECT_FLOAT_EQ(acc.total(), 32.0f);
+}
+
+TEST(ChunkAccumulator, NaiveFp16SumStagnates)
+{
+    // Adding 1.0 to a DLFloat16 accumulator stops making progress at
+    // 1024 (the tie rounds back down): the classic swamping failure
+    // that chunk-based accumulation [51] exists to fix.
+    std::vector<double> ones(4096, 1.0);
+    float naive = ChunkAccumulator::naiveFp16Sum(ones.data(), ones.size());
+    EXPECT_EQ(naive, 1024.0f);
+
+    ChunkAccumulator chunked(64, true);
+    for (double v : ones)
+        chunked.add(v);
+    EXPECT_FLOAT_EQ(chunked.total(), 4096.0f);
+}
+
+TEST(ChunkAccumulator, Fp16OuterStillBeatsNaive)
+{
+    std::vector<double> ones(4096, 1.0);
+    ChunkAccumulator chunked(64, /*fp32_outer=*/false);
+    for (double v : ones)
+        chunked.add(v);
+    // 64 chunks of 64: outer sum counts 64 * 64 with values of
+    // magnitude 64, which FP16 handles exactly.
+    EXPECT_FLOAT_EQ(chunked.total(), 4096.0f);
+}
+
+class ChunkSizeTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(ChunkSizeTest, ChunkedErrorNoWorseThanNaive)
+{
+    Rng rng(7 + GetParam());
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<double> terms(2048);
+        double exact = 0.0;
+        for (auto &t : terms) {
+            t = std::abs(rng.gaussian(0.5, 0.3));
+            exact += t;
+        }
+        float naive =
+            ChunkAccumulator::naiveFp16Sum(terms.data(), terms.size());
+        ChunkAccumulator chunked(GetParam(), true);
+        for (double t : terms)
+            chunked.add(t);
+        double naive_err = std::abs(naive - exact);
+        double chunk_err = std::abs(chunked.total() - exact);
+        EXPECT_LE(chunk_err, naive_err + 1e-6)
+            << "chunk=" << GetParam() << " trial=" << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChunkSizeTest,
+                         ::testing::Values(8, 16, 64, 256));
+
+TEST(ChunkAccumulator, ResetClearsState)
+{
+    ChunkAccumulator acc(8, true);
+    for (int i = 0; i < 20; ++i)
+        acc.add(2.0);
+    acc.reset();
+    EXPECT_FLOAT_EQ(acc.total(), 0.0f);
+    acc.add(3.0);
+    EXPECT_FLOAT_EQ(acc.total(), 3.0f);
+}
+
+TEST(Pact, ClipsAndQuantizes)
+{
+    PactQuantizer q(/*alpha=*/6.0f, /*bits=*/4);
+    EXPECT_EQ(q.numLevels(), 15u);
+    EXPECT_FLOAT_EQ(q.quantize(-1.0f), 0.0f);
+    EXPECT_FLOAT_EQ(q.quantize(100.0f), 6.0f);
+    EXPECT_FLOAT_EQ(q.quantize(6.0f), 6.0f);
+    // Mid-range values land on the uniform grid.
+    float s = q.scale();
+    for (int level = 0; level <= 15; ++level)
+        EXPECT_FLOAT_EQ(q.quantize(level * s), level * s);
+}
+
+TEST(Pact, StraightThroughGradients)
+{
+    PactQuantizer q(4.0f, 4);
+    EXPECT_FLOAT_EQ(q.gradInput(2.0f), 1.0f);
+    EXPECT_FLOAT_EQ(q.gradInput(-0.5f), 0.0f);
+    EXPECT_FLOAT_EQ(q.gradInput(5.0f), 0.0f);
+    EXPECT_FLOAT_EQ(q.gradAlpha(5.0f), 1.0f);
+    EXPECT_FLOAT_EQ(q.gradAlpha(2.0f), 0.0f);
+}
+
+TEST(Pact, QuantizationErrorBounded)
+{
+    PactQuantizer q(2.0f, 4);
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        float x = float(rng.uniform(0.0, 2.0));
+        EXPECT_LE(std::abs(q.quantize(x) - x), q.scale() / 2 + 1e-6f);
+    }
+}
+
+TEST(Sawb, AlphaNearMseOptimal)
+{
+    Rng rng(13);
+    for (unsigned bits : {2u, 4u}) {
+        auto weights = rng.gaussianVector(20000, 0.0, 0.7);
+        SawbQuantizer q(weights, bits);
+        double opt_alpha = SawbQuantizer::optimalAlpha(weights, bits);
+        double opt_mse =
+            SawbQuantizer::quantizationMse(weights, bits, opt_alpha);
+        double got_mse =
+            SawbQuantizer::quantizationMse(weights, bits, q.alpha());
+        EXPECT_LE(got_mse, opt_mse * 1.10)
+            << "bits=" << bits << " alpha=" << q.alpha()
+            << " opt=" << opt_alpha;
+    }
+}
+
+TEST(Sawb, WorksOnLaplacianWeights)
+{
+    Rng rng(17);
+    std::vector<float> weights(20000);
+    for (auto &w : weights)
+        w = float(rng.laplace(0.4));
+    SawbQuantizer q(weights, 4);
+    double opt_alpha = SawbQuantizer::optimalAlpha(weights, 4);
+    double opt_mse = SawbQuantizer::quantizationMse(weights, 4, opt_alpha);
+    double got_mse = SawbQuantizer::quantizationMse(weights, 4, q.alpha());
+    EXPECT_LE(got_mse, opt_mse * 1.15);
+}
+
+TEST(Sawb, QuantizationIsSymmetric)
+{
+    Rng rng(19);
+    auto weights = rng.gaussianVector(5000, 0.0, 1.0);
+    SawbQuantizer q(weights, 4);
+    for (int i = 0; i < 500; ++i) {
+        float w = weights[i];
+        EXPECT_FLOAT_EQ(q.quantize(-w), -q.quantize(w));
+    }
+}
+
+TEST(Sawb, StockCoefficientsPositiveAndStable)
+{
+    for (unsigned bits : {2u, 3u, 4u}) {
+        auto c = SawbQuantizer::stockCoefficients(bits);
+        auto c2 = SawbQuantizer::stockCoefficients(bits);
+        EXPECT_GT(c.c1, 0.0) << "bits=" << bits;
+        EXPECT_GT(c.c2, 0.0) << "bits=" << bits;
+        EXPECT_EQ(c.c1, c2.c1);
+        EXPECT_EQ(c.c2, c2.c2);
+    }
+}
+
+TEST(Sawb, MoreBitsMeansLessError)
+{
+    Rng rng(23);
+    auto weights = rng.gaussianVector(10000, 0.0, 1.0);
+    SawbQuantizer q2(weights, 2);
+    SawbQuantizer q4(weights, 4);
+    double mse2 = SawbQuantizer::quantizationMse(weights, 2, q2.alpha());
+    double mse4 = SawbQuantizer::quantizationMse(weights, 4, q4.alpha());
+    EXPECT_LT(mse4, mse2 / 4);
+}
+
+TEST(Moments, MatchClosedForms)
+{
+    Rng rng(29);
+    auto values = rng.gaussianVector(200000, 0.0, 2.0);
+    TensorMoments m = computeMoments(values);
+    // E[|x|] = sigma * sqrt(2/pi), rms = sigma.
+    EXPECT_NEAR(m.rms, 2.0, 0.05);
+    EXPECT_NEAR(m.mean_abs, 2.0 * std::sqrt(2.0 / M_PI), 0.05);
+}
+
+} // namespace
+} // namespace rapid
