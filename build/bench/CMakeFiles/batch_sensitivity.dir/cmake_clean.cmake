@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_sensitivity.dir/batch_sensitivity.cc.o"
+  "CMakeFiles/batch_sensitivity.dir/batch_sensitivity.cc.o.d"
+  "batch_sensitivity"
+  "batch_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

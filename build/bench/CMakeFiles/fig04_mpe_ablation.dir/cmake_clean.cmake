@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_mpe_ablation.dir/fig04_mpe_ablation.cc.o"
+  "CMakeFiles/fig04_mpe_ablation.dir/fig04_mpe_ablation.cc.o.d"
+  "fig04_mpe_ablation"
+  "fig04_mpe_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_mpe_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

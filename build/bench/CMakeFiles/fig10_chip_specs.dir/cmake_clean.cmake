@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_chip_specs.dir/fig10_chip_specs.cc.o"
+  "CMakeFiles/fig10_chip_specs.dir/fig10_chip_specs.cc.o.d"
+  "fig10_chip_specs"
+  "fig10_chip_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_chip_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_inference_efficiency.dir/fig14_inference_efficiency.cc.o"
+  "CMakeFiles/fig14_inference_efficiency.dir/fig14_inference_efficiency.cc.o.d"
+  "fig14_inference_efficiency"
+  "fig14_inference_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_inference_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

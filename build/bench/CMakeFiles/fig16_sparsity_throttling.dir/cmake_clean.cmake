@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_sparsity_throttling.dir/fig16_sparsity_throttling.cc.o"
+  "CMakeFiles/fig16_sparsity_throttling.dir/fig16_sparsity_throttling.cc.o.d"
+  "fig16_sparsity_throttling"
+  "fig16_sparsity_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sparsity_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

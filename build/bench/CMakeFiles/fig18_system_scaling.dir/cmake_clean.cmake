@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_system_scaling.dir/fig18_system_scaling.cc.o"
+  "CMakeFiles/fig18_system_scaling.dir/fig18_system_scaling.cc.o.d"
+  "fig18_system_scaling"
+  "fig18_system_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_system_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

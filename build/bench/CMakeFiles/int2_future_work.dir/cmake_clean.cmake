@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int2_future_work.dir/int2_future_work.cc.o"
+  "CMakeFiles/int2_future_work.dir/int2_future_work.cc.o.d"
+  "int2_future_work"
+  "int2_future_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int2_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_precision.dir/micro_precision.cc.o"
+  "CMakeFiles/micro_precision.dir/micro_precision.cc.o.d"
+  "micro_precision"
+  "micro_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiled_layer_timeline.dir/compiled_layer_timeline.cpp.o"
+  "CMakeFiles/compiled_layer_timeline.dir/compiled_layer_timeline.cpp.o.d"
+  "compiled_layer_timeline"
+  "compiled_layer_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiled_layer_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfp8_training.dir/hfp8_training.cpp.o"
+  "CMakeFiles/hfp8_training.dir/hfp8_training.cpp.o.d"
+  "hfp8_training"
+  "hfp8_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfp8_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

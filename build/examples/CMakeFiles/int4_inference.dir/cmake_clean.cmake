@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int4_inference.dir/int4_inference.cpp.o"
+  "CMakeFiles/int4_inference.dir/int4_inference.cpp.o.d"
+  "int4_inference"
+  "int4_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int4_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

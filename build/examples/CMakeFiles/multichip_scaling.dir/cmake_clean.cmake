@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multichip_scaling.dir/multichip_scaling.cpp.o"
+  "CMakeFiles/multichip_scaling.dir/multichip_scaling.cpp.o.d"
+  "multichip_scaling"
+  "multichip_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multichip_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

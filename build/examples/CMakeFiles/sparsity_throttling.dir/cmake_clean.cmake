@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsity_throttling.dir/sparsity_throttling.cpp.o"
+  "CMakeFiles/sparsity_throttling.dir/sparsity_throttling.cpp.o.d"
+  "sparsity_throttling"
+  "sparsity_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsity_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("precision")
+subdirs("tensor")
+subdirs("func")
+subdirs("arch")
+subdirs("workloads")
+subdirs("perf")
+subdirs("power")
+subdirs("interconnect")
+subdirs("sim")
+subdirs("compiler")
+subdirs("runtime")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_arch.dir/config.cc.o"
+  "CMakeFiles/rapid_arch.dir/config.cc.o.d"
+  "CMakeFiles/rapid_arch.dir/isa.cc.o"
+  "CMakeFiles/rapid_arch.dir/isa.cc.o.d"
+  "librapid_arch.a"
+  "librapid_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_common.dir/logging.cc.o"
+  "CMakeFiles/rapid_common.dir/logging.cc.o.d"
+  "CMakeFiles/rapid_common.dir/table.cc.o"
+  "CMakeFiles/rapid_common.dir/table.cc.o.d"
+  "librapid_common.a"
+  "librapid_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/codegen.cc" "src/compiler/CMakeFiles/rapid_compiler.dir/codegen.cc.o" "gcc" "src/compiler/CMakeFiles/rapid_compiler.dir/codegen.cc.o.d"
+  "/root/repo/src/compiler/dataflow.cc" "src/compiler/CMakeFiles/rapid_compiler.dir/dataflow.cc.o" "gcc" "src/compiler/CMakeFiles/rapid_compiler.dir/dataflow.cc.o.d"
+  "/root/repo/src/compiler/precision_assign.cc" "src/compiler/CMakeFiles/rapid_compiler.dir/precision_assign.cc.o" "gcc" "src/compiler/CMakeFiles/rapid_compiler.dir/precision_assign.cc.o.d"
+  "/root/repo/src/compiler/tiling.cc" "src/compiler/CMakeFiles/rapid_compiler.dir/tiling.cc.o" "gcc" "src/compiler/CMakeFiles/rapid_compiler.dir/tiling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/rapid_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rapid_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/precision/CMakeFiles/rapid_precision.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_compiler.dir/codegen.cc.o"
+  "CMakeFiles/rapid_compiler.dir/codegen.cc.o.d"
+  "CMakeFiles/rapid_compiler.dir/dataflow.cc.o"
+  "CMakeFiles/rapid_compiler.dir/dataflow.cc.o.d"
+  "CMakeFiles/rapid_compiler.dir/precision_assign.cc.o"
+  "CMakeFiles/rapid_compiler.dir/precision_assign.cc.o.d"
+  "CMakeFiles/rapid_compiler.dir/tiling.cc.o"
+  "CMakeFiles/rapid_compiler.dir/tiling.cc.o.d"
+  "librapid_compiler.a"
+  "librapid_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_func.dir/cnn.cc.o"
+  "CMakeFiles/rapid_func.dir/cnn.cc.o.d"
+  "CMakeFiles/rapid_func.dir/datasets.cc.o"
+  "CMakeFiles/rapid_func.dir/datasets.cc.o.d"
+  "CMakeFiles/rapid_func.dir/quantized_ops.cc.o"
+  "CMakeFiles/rapid_func.dir/quantized_ops.cc.o.d"
+  "CMakeFiles/rapid_func.dir/sfu_ops.cc.o"
+  "CMakeFiles/rapid_func.dir/sfu_ops.cc.o.d"
+  "CMakeFiles/rapid_func.dir/trainer.cc.o"
+  "CMakeFiles/rapid_func.dir/trainer.cc.o.d"
+  "librapid_func.a"
+  "librapid_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

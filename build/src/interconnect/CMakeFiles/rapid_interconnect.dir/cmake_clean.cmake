@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_interconnect.dir/mni.cc.o"
+  "CMakeFiles/rapid_interconnect.dir/mni.cc.o.d"
+  "CMakeFiles/rapid_interconnect.dir/ring.cc.o"
+  "CMakeFiles/rapid_interconnect.dir/ring.cc.o.d"
+  "librapid_interconnect.a"
+  "librapid_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

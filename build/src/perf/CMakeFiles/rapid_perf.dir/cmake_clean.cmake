@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_perf.dir/perf_model.cc.o"
+  "CMakeFiles/rapid_perf.dir/perf_model.cc.o.d"
+  "librapid_perf.a"
+  "librapid_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_power.dir/characterization.cc.o"
+  "CMakeFiles/rapid_power.dir/characterization.cc.o.d"
+  "CMakeFiles/rapid_power.dir/power_model.cc.o"
+  "CMakeFiles/rapid_power.dir/power_model.cc.o.d"
+  "CMakeFiles/rapid_power.dir/throttle.cc.o"
+  "CMakeFiles/rapid_power.dir/throttle.cc.o.d"
+  "librapid_power.a"
+  "librapid_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

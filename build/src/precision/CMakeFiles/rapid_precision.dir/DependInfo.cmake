@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/precision/chunk_accumulator.cc" "src/precision/CMakeFiles/rapid_precision.dir/chunk_accumulator.cc.o" "gcc" "src/precision/CMakeFiles/rapid_precision.dir/chunk_accumulator.cc.o.d"
+  "/root/repo/src/precision/float_format.cc" "src/precision/CMakeFiles/rapid_precision.dir/float_format.cc.o" "gcc" "src/precision/CMakeFiles/rapid_precision.dir/float_format.cc.o.d"
+  "/root/repo/src/precision/mpe_datapath.cc" "src/precision/CMakeFiles/rapid_precision.dir/mpe_datapath.cc.o" "gcc" "src/precision/CMakeFiles/rapid_precision.dir/mpe_datapath.cc.o.d"
+  "/root/repo/src/precision/quantize.cc" "src/precision/CMakeFiles/rapid_precision.dir/quantize.cc.o" "gcc" "src/precision/CMakeFiles/rapid_precision.dir/quantize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_precision.dir/chunk_accumulator.cc.o"
+  "CMakeFiles/rapid_precision.dir/chunk_accumulator.cc.o.d"
+  "CMakeFiles/rapid_precision.dir/float_format.cc.o"
+  "CMakeFiles/rapid_precision.dir/float_format.cc.o.d"
+  "CMakeFiles/rapid_precision.dir/mpe_datapath.cc.o"
+  "CMakeFiles/rapid_precision.dir/mpe_datapath.cc.o.d"
+  "CMakeFiles/rapid_precision.dir/quantize.cc.o"
+  "CMakeFiles/rapid_precision.dir/quantize.cc.o.d"
+  "librapid_precision.a"
+  "librapid_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

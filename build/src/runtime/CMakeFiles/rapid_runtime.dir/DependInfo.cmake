@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/report.cc" "src/runtime/CMakeFiles/rapid_runtime.dir/report.cc.o" "gcc" "src/runtime/CMakeFiles/rapid_runtime.dir/report.cc.o.d"
+  "/root/repo/src/runtime/session.cc" "src/runtime/CMakeFiles/rapid_runtime.dir/session.cc.o" "gcc" "src/runtime/CMakeFiles/rapid_runtime.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/rapid_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/rapid_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rapid_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rapid_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/rapid_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/precision/CMakeFiles/rapid_precision.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_runtime.dir/report.cc.o"
+  "CMakeFiles/rapid_runtime.dir/report.cc.o.d"
+  "CMakeFiles/rapid_runtime.dir/session.cc.o"
+  "CMakeFiles/rapid_runtime.dir/session.cc.o.d"
+  "librapid_runtime.a"
+  "librapid_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_sim.dir/chip_sim.cc.o"
+  "CMakeFiles/rapid_sim.dir/chip_sim.cc.o.d"
+  "CMakeFiles/rapid_sim.dir/corelet_sim.cc.o"
+  "CMakeFiles/rapid_sim.dir/corelet_sim.cc.o.d"
+  "CMakeFiles/rapid_sim.dir/systolic.cc.o"
+  "CMakeFiles/rapid_sim.dir/systolic.cc.o.d"
+  "librapid_sim.a"
+  "librapid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_tensor.dir/ops.cc.o"
+  "CMakeFiles/rapid_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/rapid_tensor.dir/ops_grad.cc.o"
+  "CMakeFiles/rapid_tensor.dir/ops_grad.cc.o.d"
+  "CMakeFiles/rapid_tensor.dir/tensor.cc.o"
+  "CMakeFiles/rapid_tensor.dir/tensor.cc.o.d"
+  "librapid_tensor.a"
+  "librapid_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

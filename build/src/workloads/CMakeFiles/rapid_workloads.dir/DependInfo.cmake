@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/layer.cc" "src/workloads/CMakeFiles/rapid_workloads.dir/layer.cc.o" "gcc" "src/workloads/CMakeFiles/rapid_workloads.dir/layer.cc.o.d"
+  "/root/repo/src/workloads/net_builder.cc" "src/workloads/CMakeFiles/rapid_workloads.dir/net_builder.cc.o" "gcc" "src/workloads/CMakeFiles/rapid_workloads.dir/net_builder.cc.o.d"
+  "/root/repo/src/workloads/networks_cnn.cc" "src/workloads/CMakeFiles/rapid_workloads.dir/networks_cnn.cc.o" "gcc" "src/workloads/CMakeFiles/rapid_workloads.dir/networks_cnn.cc.o.d"
+  "/root/repo/src/workloads/networks_detection.cc" "src/workloads/CMakeFiles/rapid_workloads.dir/networks_detection.cc.o" "gcc" "src/workloads/CMakeFiles/rapid_workloads.dir/networks_detection.cc.o.d"
+  "/root/repo/src/workloads/networks_nlp.cc" "src/workloads/CMakeFiles/rapid_workloads.dir/networks_nlp.cc.o" "gcc" "src/workloads/CMakeFiles/rapid_workloads.dir/networks_nlp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rapid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

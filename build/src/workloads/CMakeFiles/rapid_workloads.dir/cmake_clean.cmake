@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_workloads.dir/layer.cc.o"
+  "CMakeFiles/rapid_workloads.dir/layer.cc.o.d"
+  "CMakeFiles/rapid_workloads.dir/net_builder.cc.o"
+  "CMakeFiles/rapid_workloads.dir/net_builder.cc.o.d"
+  "CMakeFiles/rapid_workloads.dir/networks_cnn.cc.o"
+  "CMakeFiles/rapid_workloads.dir/networks_cnn.cc.o.d"
+  "CMakeFiles/rapid_workloads.dir/networks_detection.cc.o"
+  "CMakeFiles/rapid_workloads.dir/networks_detection.cc.o.d"
+  "CMakeFiles/rapid_workloads.dir/networks_nlp.cc.o"
+  "CMakeFiles/rapid_workloads.dir/networks_nlp.cc.o.d"
+  "librapid_workloads.a"
+  "librapid_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

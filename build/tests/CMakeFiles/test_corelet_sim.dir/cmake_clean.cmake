@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corelet_sim.dir/test_corelet_sim.cc.o"
+  "CMakeFiles/test_corelet_sim.dir/test_corelet_sim.cc.o.d"
+  "test_corelet_sim"
+  "test_corelet_sim.pdb"
+  "test_corelet_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corelet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float_format.dir/test_float_format.cc.o"
+  "CMakeFiles/test_float_format.dir/test_float_format.cc.o.d"
+  "test_float_format"
+  "test_float_format.pdb"
+  "test_float_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_precision_ops.dir/test_precision_ops.cc.o"
+  "CMakeFiles/test_precision_ops.dir/test_precision_ops.cc.o.d"
+  "test_precision_ops"
+  "test_precision_ops.pdb"
+  "test_precision_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_precision_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

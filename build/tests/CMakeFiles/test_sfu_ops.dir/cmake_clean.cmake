@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sfu_ops.dir/test_sfu_ops.cc.o"
+  "CMakeFiles/test_sfu_ops.dir/test_sfu_ops.cc.o.d"
+  "test_sfu_ops"
+  "test_sfu_ops.pdb"
+  "test_sfu_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sfu_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_float_format[1]_include.cmake")
+include("/root/repo/build/tests/test_precision_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_func[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_interconnect[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sfu_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_corelet_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_cnn[1]_include.cmake")
+include("/root/repo/build/tests/test_chip_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
