@@ -51,6 +51,16 @@ precFromCode(unsigned code)
 uint64_t
 MpeInstruction::encode() const
 {
+    // insertBits masks silently; a field that does not fit its slot
+    // would corrupt the instruction word without these checks.
+    rapid_dassert(uint64_t(op) < (1u << kOpBits),
+                  "opcode does not fit its ", kOpBits, "-bit field");
+    rapid_dassert(dst_reg < (1u << kDstBits),
+                  "dst_reg ", unsigned(dst_reg), " does not fit ",
+                  kDstBits, " bits");
+    rapid_dassert(src_reg < (1u << kSrcBits),
+                  "src_reg ", unsigned(src_reg), " does not fit ",
+                  kSrcBits, " bits");
     uint64_t w = 0;
     w = insertBits(w, kOpShift, kOpBits, uint64_t(op));
     w = insertBits(w, kPrecShift, kPrecBits, uint64_t(precCode(prec)));

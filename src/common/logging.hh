@@ -73,4 +73,31 @@ bool verboseLoggingEnabled();
         }                                                                   \
     } while (0)
 
+/**
+ * Debug-only invariant check for hot paths: behaves like rapid_assert
+ * in builds without NDEBUG (CMAKE_BUILD_TYPE=Debug) and compiles to
+ * nothing in release builds. The condition stays syntactically checked
+ * in release via an unevaluated sizeof, so it cannot bit-rot.
+ */
+#ifdef NDEBUG
+#define rapid_dassert(cond, ...)                                            \
+    do {                                                                    \
+        (void)sizeof(!(cond));                                              \
+    } while (0)
+#else
+#define rapid_dassert(cond, ...) rapid_assert(cond, __VA_ARGS__)
+#endif
+
+/**
+ * Index-bounds invariant used by Tensor element access and the
+ * precision/systolic hot paths. Active in any build configured with
+ * -DRAPID_BOUNDS_CHECK=ON (including release), and additionally in
+ * debug builds; otherwise free.
+ */
+#if defined(RAPID_BOUNDS_CHECK) && RAPID_BOUNDS_CHECK
+#define rapid_bounds_check(cond, ...) rapid_assert(cond, __VA_ARGS__)
+#else
+#define rapid_bounds_check(cond, ...) rapid_dassert(cond, __VA_ARGS__)
+#endif
+
 #endif // RAPID_COMMON_LOGGING_HH

@@ -87,6 +87,9 @@ TilePlanner::plan(const Layer &layer, int64_t batch,
         s.double_buffered = false;
     }
     per_tile = std::min(per_tile, positions);
+    rapid_dassert(per_tile >= 1 && positions >= 1,
+                  "degenerate tile plan for layer ", layer.name, ": ",
+                  per_tile, " positions per tile of ", positions);
     s.positions_per_tile = per_tile;
     s.num_tiles = divCeil(positions, per_tile);
 

@@ -1,6 +1,9 @@
 #include "func/quantized_ops.hh"
 
+#include <cmath>
 #include <vector>
+
+#include "common/logging.hh"
 
 namespace rapid {
 
@@ -21,6 +24,10 @@ chunkedDot(const float *a, const float *b, int64_t n,
             continue; // zero-gated FMA passes the accumulator through
         acc.add(double(a[i]) * double(b[i]));
     }
+    // DLFloat16 saturates, so a finite operand stream must reduce to
+    // a finite total; anything else is an emulation bug.
+    rapid_dassert(std::isfinite(acc.total()),
+                  "non-finite chunked dot product");
     return dlfloat16().quantize(acc.total(), cfg.rounding);
 }
 

@@ -65,6 +65,9 @@ RingNetwork::send(unsigned src, std::vector<unsigned> dsts,
     for (unsigned d : messages_[id].dsts)
         fl.max_hops =
             std::max(fl.max_hops, hopDistance(src, d, fl.dir));
+    rapid_dassert(fl.max_hops >= 1 && fl.max_hops < cfg_.num_nodes,
+                  "multicast span ", fl.max_hops,
+                  " outside the ring of ", cfg_.num_nodes, " nodes");
     inflight_.push_back(fl);
     const size_t fl_idx = inflight_.size() - 1;
     if (fl.dir == RingDir::Clockwise)

@@ -108,6 +108,9 @@ PerfModel::evaluateLayer(const Layer &layer, const LayerPlan &plan,
     perf.macs = double(layer.macsPerSample()) * batch;
 
     Mapping m = mapper_.map(layer, batch, p);
+    rapid_dassert(m.utilization >= 0.0 && m.utilization <= 1.0 + 1e-9,
+                  "mapper utilization ", m.utilization,
+                  " outside [0,1] for layer ", layer.name);
     perf.utilization = m.utilization;
     perf.cycles.conv_gemm =
         perf.macs /

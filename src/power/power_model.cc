@@ -105,6 +105,10 @@ PowerModel::evaluate(const NetworkPerf &perf, const Network &net) const
     }
 
     const double wall = perf.total_seconds * time_scale;
+    rapid_dassert(base_e >= 0.0 && mpe_e >= 0.0 && sfu_e >= 0.0
+                      && leak_e >= 0.0,
+                  "negative energy component: base=", base_e, " mpe=",
+                  mpe_e, " sfu=", sfu_e, " leak=", leak_e);
     report.energy_j = base_e + mpe_e + sfu_e + leak_e;
     report.avg_power_w = wall > 0 ? report.energy_j / wall : 0.0;
     report.sustained_tops = 2.0 * perf.total_macs / wall / 1e12;

@@ -1,5 +1,7 @@
 #include "precision/chunk_accumulator.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 
 namespace rapid {
@@ -14,6 +16,10 @@ ChunkAccumulator::ChunkAccumulator(size_t chunk_size, bool fp32_outer,
 void
 ChunkAccumulator::add(double term)
 {
+    rapid_dassert(std::isfinite(term),
+                  "non-finite term ", term, " fed to the accumulator");
+    rapid_dassert(inChunk_ < chunkSize_,
+                  "chunk fill ", inChunk_, " overran size ", chunkSize_);
     // The MPE accumulator holds DLFloat16; each accumulate rounds.
     chunkAcc_ = dlfloat16().quantize(float(double(chunkAcc_) + term),
                                      rounding_);

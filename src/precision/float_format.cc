@@ -116,9 +116,10 @@ FloatFormat::encode(float value, Rounding mode) const
                | mask<uint32_t>(manBits_);
     }
 
-    // Zero and single-precision subnormal inputs. The latter are far
-    // below every format's underflow threshold (2^-126 vs >= 2^-40).
-    if (in_exp == 0 || value == 0.0f)
+    // Zero and single-precision subnormal inputs (both encode with a
+    // zero exponent field). Subnormals are far below every format's
+    // underflow threshold (2^-126 vs >= 2^-40).
+    if (in_exp == 0)
         return sign_shifted;
 
     // Normalized input: 24-bit significand with the implicit bit set.

@@ -45,13 +45,16 @@ class IntFormat
     quantizeLevel(float value, float scale) const
     {
         rapid_assert(scale > 0, "non-positive quantization scale");
+        // Clamp in float space first: casting an out-of-int-range (or
+        // NaN) float to int is undefined behaviour, so saturating after
+        // the cast would be too late for |value/scale| >= 2^31.
         float x = value / scale;
-        int level = int(x >= 0 ? x + 0.5f : x - 0.5f);
-        if (level > maxLevel())
-            level = maxLevel();
-        if (level < minLevel())
-            level = minLevel();
-        return level;
+        const float max_f = float(maxLevel());
+        if (!(x >= -max_f))  // also catches NaN
+            return x < 0.0f ? minLevel() : 0;
+        if (x >= max_f)
+            return maxLevel();
+        return int(x >= 0 ? x + 0.5f : x - 0.5f);
     }
 
     /** Reconstruct the real value of a level. */

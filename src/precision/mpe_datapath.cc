@@ -1,8 +1,21 @@
 #include "precision/mpe_datapath.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 
 namespace rapid {
+
+namespace {
+
+/** Exact-zero test without a floating-point comparison (see lint). */
+bool
+isZero(float v)
+{
+    return std::fpclassify(v) == FP_ZERO;
+}
+
+} // namespace
 
 MpeDatapath::MpeDatapath(int fwd_bias, Rounding rounding)
     : fwdBias_(fwd_bias), rounding_(rounding), fwdFormat_(fp8e4m3(fwd_bias))
@@ -26,7 +39,7 @@ float
 MpeDatapath::fp16Fma(float a, float b, float acc)
 {
     ++fmaCount_;
-    if (a == 0.0f || b == 0.0f) {
+    if (isZero(a) || isZero(b)) {
         ++zeroGatedCount_;
         return acc; // zero-gating: pass the addend through
     }
@@ -56,7 +69,7 @@ MpeDatapath::hfp8Fma(float a, Fp8Kind a_kind, float b, Fp8Kind b_kind,
     ++fmaCount_;
     float a9 = toFp9(a, a_kind);
     float b9 = toFp9(b, b_kind);
-    if (a9 == 0.0f || b9 == 0.0f) {
+    if (isZero(a9) || isZero(b9)) {
         ++zeroGatedCount_;
         return acc;
     }

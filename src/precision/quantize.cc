@@ -18,7 +18,11 @@ PactQuantizer::PactQuantizer(float alpha, unsigned bits)
 int
 PactQuantizer::quantizeLevel(float x) const
 {
-    float clipped = std::clamp(x, 0.0f, alpha_);
+    // NaN propagates through std::clamp, and casting NaN to int is
+    // undefined behaviour; treat it (and negatives) as the clip floor.
+    if (!(x > 0.0f))
+        return 0;
+    float clipped = std::min(x, alpha_);
     return int(clipped / scale() + 0.5f);
 }
 
@@ -91,6 +95,10 @@ SawbQuantizer::scale() const
 int
 SawbQuantizer::quantizeLevel(float w) const
 {
+    // NaN survives std::clamp unchanged and would hit the undefined
+    // float-to-int cast below; map it to the zero level.
+    if (std::isnan(w))
+        return 0;
     int max_level = (1 << (bits_ - 1)) - 1;
     float x = std::clamp(w, -alpha_, alpha_) / scale();
     int level = int(x >= 0 ? x + 0.5f : x - 0.5f);
@@ -116,7 +124,7 @@ SawbQuantizer::quantizationMse(const std::vector<float> &weights,
         double level = std::round(x);
         double q = std::clamp(level, double(-max_level),
                               double(max_level)) * scale;
-        err += (q - w) * (q - w);
+        err += (q - double(w)) * (q - double(w));
     }
     return err / double(weights.size());
 }

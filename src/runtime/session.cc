@@ -1,5 +1,7 @@
 #include "runtime/session.hh"
 
+#include "common/logging.hh"
+
 namespace rapid {
 
 InferenceSession::InferenceSession(const ChipConfig &chip, Network net)
@@ -26,8 +28,13 @@ InferenceSession::run(const InferenceOptions &opts) const
 {
     InferenceResult result;
     result.plan = compile(opts);
+    rapid_dassert(result.plan.layers.size() == net_.layers.size(),
+                  "execution plan covers ", result.plan.layers.size(),
+                  " of ", net_.layers.size(), " layers");
     PerfModel perf(chip_);
     result.perf = perf.evaluate(net_, result.plan, opts.batch);
+    rapid_dassert(result.perf.total_seconds > 0.0,
+                  "non-positive inference time");
     PowerModel power(chip_, opts.power_report_freq_ghz);
     result.energy = power.evaluate(result.perf, net_);
     return result;

@@ -49,6 +49,9 @@ class EventQueue
         while (!heap_.empty() && heap_.top().when <= limit) {
             Entry e = heap_.top();
             heap_.pop();
+            rapid_dassert(e.when >= now_,
+                          "event queue time went backwards: ", e.when,
+                          " < ", now_);
             now_ = e.when;
             e.fn();
         }

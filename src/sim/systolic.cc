@@ -74,6 +74,9 @@ SystolicArraySim::gemm(const Tensor &a, const Tensor &b, Fp8Kind a_kind,
 
     const int64_t red_cap = reductionCap();
     const int64_t out_cap = outputCap();
+    rapid_dassert(red_cap > 0 && out_cap > 0,
+                  "degenerate corelet: reduction cap ", red_cap,
+                  ", output cap ", out_cap);
     const int64_t pipe_fill = corelet_.mpe_rows + 3; // skew + adder
 
     MpeDatapath dp(fwdBias_);
@@ -88,6 +91,9 @@ SystolicArraySim::gemm(const Tensor &a, const Tensor &b, Fp8Kind a_kind,
         const int64_t n_hi = std::min(n, n0 + out_cap);
         for (int64_t k0 = 0; k0 < k; k0 += red_cap) {
             const int64_t k_hi = std::min(k, k0 + red_cap);
+            rapid_dassert(k_hi - k0 <= reductionCap(),
+                          "tile reduction depth ", k_hi - k0,
+                          " exceeds the accumulation chain cap");
 
             // Block-load: the padded tile streams from L1 into the
             // LRFs before compute starts.

@@ -181,7 +181,7 @@ globalAvgPool(const Tensor &x)
             double acc = 0.0;
             for (int64_t h = 0; h < x.dim(2); ++h)
                 for (int64_t w = 0; w < x.dim(3); ++w)
-                    acc += x.at(n, c, h, w);
+                    acc += double(x.at(n, c, h, w));
             out.at(n, c) = float(acc * scale);
         }
     }
@@ -199,10 +199,10 @@ softmax(const Tensor &x)
             mx = std::max(mx, x.at(i, j));
         double sum = 0.0;
         for (int64_t j = 0; j < x.dim(1); ++j)
-            sum += std::exp(double(x.at(i, j)) - mx);
+            sum += std::exp(double(x.at(i, j)) - double(mx));
         for (int64_t j = 0; j < x.dim(1); ++j)
             out.at(i, j) =
-                float(std::exp(double(x.at(i, j)) - mx) / sum);
+                float(std::exp(double(x.at(i, j)) - double(mx)) / sum);
     }
     return out;
 }

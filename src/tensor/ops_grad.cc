@@ -5,6 +5,8 @@
  * finite differences.
  */
 
+#include <cmath>
+
 #include "tensor/ops.hh"
 
 namespace rapid {
@@ -28,7 +30,7 @@ conv2dGradInput(const Tensor &grad_out, const Tensor &weight,
             for (int64_t oy = 0; oy < ho; ++oy) {
                 for (int64_t ox = 0; ox < wo; ++ox) {
                     const float g = grad_out.at(nn, oc, oy, ox);
-                    if (g == 0.0f)
+                    if (std::fpclassify(g) == FP_ZERO)
                         continue;
                     for (int64_t ic = 0; ic < ci; ++ic) {
                         for (int64_t ky = 0; ky < kh; ++ky) {
@@ -69,7 +71,7 @@ conv2dGradWeight(const Tensor &grad_out, const Tensor &input,
             for (int64_t oy = 0; oy < ho; ++oy) {
                 for (int64_t ox = 0; ox < wo; ++ox) {
                     const float g = grad_out.at(nn, oc, oy, ox);
-                    if (g == 0.0f)
+                    if (std::fpclassify(g) == FP_ZERO)
                         continue;
                     for (int64_t ic = 0; ic < ci; ++ic) {
                         for (int64_t ky = 0; ky < kh; ++ky) {

@@ -43,6 +43,9 @@ float &
 Tensor::at(int64_t i, int64_t j)
 {
     rapid_assert(rank() == 2, "rank-2 access on rank-", rank());
+    rapid_bounds_check(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+                       "index (", i, ",", j, ") out of shape (", shape_[0],
+                       ",", shape_[1], ")");
     return data_[size_t(i * shape_[1] + j)];
 }
 
@@ -50,6 +53,9 @@ float
 Tensor::at(int64_t i, int64_t j) const
 {
     rapid_assert(rank() == 2, "rank-2 access on rank-", rank());
+    rapid_bounds_check(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+                       "index (", i, ",", j, ") out of shape (", shape_[0],
+                       ",", shape_[1], ")");
     return data_[size_t(i * shape_[1] + j)];
 }
 
@@ -57,6 +63,12 @@ int64_t
 Tensor::flatIndex4(int64_t n, int64_t c, int64_t h, int64_t w) const
 {
     rapid_assert(rank() == 4, "rank-4 access on rank-", rank());
+    rapid_bounds_check(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1]
+                           && h >= 0 && h < shape_[2] && w >= 0
+                           && w < shape_[3],
+                       "index (", n, ",", c, ",", h, ",", w,
+                       ") out of shape (", shape_[0], ",", shape_[1], ",",
+                       shape_[2], ",", shape_[3], ")");
     return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
 }
 
@@ -116,7 +128,7 @@ Tensor::zeroFraction() const
 {
     int64_t zeros = 0;
     for (float v : data_)
-        if (v == 0.0f)
+        if (std::fpclassify(v) == FP_ZERO)
             ++zeros;
     return numel_ ? double(zeros) / double(numel_) : 0.0;
 }

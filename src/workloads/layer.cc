@@ -23,6 +23,12 @@ Layer::outW() const
 int64_t
 Layer::macsPerSample() const
 {
+    // Builder validation (net_builder.cc) rejects collapsed feature
+    // maps with a user-facing error; by the time work is counted the
+    // geometry must be sane.
+    rapid_dassert(type != LayerType::Conv
+                      || (outH() > 0 && outW() > 0 && groups > 0),
+                  "invalid conv geometry in layer ", name);
     switch (type) {
       case LayerType::Conv:
         return repeat * outH() * outW() * co * (ci / groups) * kh * kw;

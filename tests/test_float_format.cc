@@ -182,8 +182,8 @@ INSTANTIATE_TEST_SUITE_P(
     Formats, SmallFormatTest,
     ::testing::Values(fp8e4m3(4), fp8e4m3(1), fp8e4m3(7), fp8e4m3(15),
                       fp8e5m2(), fp9(), dlfloat16(), ieeeHalf()),
-    [](const ::testing::TestParamInfo<FloatFormat> &info) {
-        std::string n = info.param.name();
+    [](const ::testing::TestParamInfo<FloatFormat> &param_info) {
+        std::string n = param_info.param.name();
         for (auto &c : n)
             if (!isalnum(static_cast<unsigned char>(c)))
                 c = '_';

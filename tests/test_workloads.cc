@@ -50,8 +50,8 @@ INSTANTIATE_TEST_SUITE_P(
         NetExpectation{"yolov3", 30.0, 35.0, 58.0, 65.0},
         NetExpectation{"yolov3-tiny", 2.5, 3.3, 8.0, 10.0},
         NetExpectation{"bert", 33.0, 38.0, 80.0, 90.0}),
-    [](const ::testing::TestParamInfo<NetExpectation> &info) {
-        std::string n = info.param.name;
+    [](const ::testing::TestParamInfo<NetExpectation> &param_info) {
+        std::string n = param_info.param.name;
         for (auto &c : n)
             if (!isalnum(static_cast<unsigned char>(c)))
                 c = '_';

@@ -1,0 +1,6 @@
+// Lint fixture: floating-point equality in the precision layer.
+bool
+fixtureFloatEq(float quantized)
+{
+    return quantized == 0.5f;
+}

@@ -1,0 +1,7 @@
+// Lint fixture: include guard does not follow RAPID_<DIR>_<FILE>_HH.
+#ifndef WRONG_GUARD_NAME_HH
+#define WRONG_GUARD_NAME_HH
+
+int fixtureGuard();
+
+#endif // WRONG_GUARD_NAME_HH

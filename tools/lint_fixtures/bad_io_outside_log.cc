@@ -1,0 +1,10 @@
+// Lint fixture: direct stdio outside the logging/table sinks.
+#include <cstdio>
+#include <iostream>
+
+void
+fixtureIo(int cycles)
+{
+    printf("cycles=%d\n", cycles);
+    std::cout << "cycles=" << cycles << "\n";
+}

@@ -1,0 +1,8 @@
+// Lint fixture: libc rand() breaks run-to-run reproducibility.
+#include <cstdlib>
+
+int
+fixtureRand()
+{
+    return std::rand() % 7;
+}

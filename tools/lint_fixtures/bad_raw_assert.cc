@@ -1,0 +1,9 @@
+// Lint fixture: raw assert() must be flagged (use rapid_assert).
+#include <cassert>
+
+int
+fixtureRawAssert(int x)
+{
+    assert(x > 0);
+    return x;
+}

@@ -1,0 +1,20 @@
+// Lint fixture: a conforming header no check should flag. Mentions of
+// assert( and printf( in comments or strings must not trip the lint.
+#ifndef RAPID_PRECISION_GOOD_CLEAN_HH
+#define RAPID_PRECISION_GOOD_CLEAN_HH
+
+#include "common/logging.hh"
+
+namespace rapid {
+
+inline const char *
+fixtureClean(int level)
+{
+    rapid_assert(level >= 0, "negative level ", level);
+    rapid_dassert(level < 16, "level ", level, " out of range");
+    return "printf( and assert( inside a string are fine";
+}
+
+} // namespace rapid
+
+#endif // RAPID_PRECISION_GOOD_CLEAN_HH
