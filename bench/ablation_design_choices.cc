@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "common/random.hh"
+#include "common/sweep.hh"
 #include "common/table.hh"
 #include "func/quantized_ops.hh"
 #include "runtime/session.hh"
@@ -38,10 +39,8 @@ int4Throughput(const ChipConfig &chip, const Network &net,
         .samplesPerSecond();
 }
 
-} // namespace
-
-int
-main()
+void
+runFigure()
 {
     std::printf("=== Ablation 1: chunk-based accumulation ===\n\n");
     {
@@ -155,5 +154,12 @@ main()
                     "residency; pinning VGG-class weights would need "
                     "~20x the area)\n");
     }
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return sweepMain("ablation_design_choices", argc, argv, runFigure);
 }

@@ -10,38 +10,50 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/parallel.hh"
+#include "common/sweep.hh"
 #include "common/table.hh"
 #include "runtime/session.hh"
 #include "workloads/networks.hh"
 
 using namespace rapid;
 
-int
-main()
+namespace {
+
+void
+runFigure()
 {
     std::printf("=== Batch-size sensitivity, INT4 on the 4-core chip "
                 "===\n\n");
     const std::vector<int64_t> batches = {1, 2, 4, 8, 16, 32};
     ChipConfig chip = makeInferenceChip();
+    const std::vector<const char *> names = {
+        "vgg16", "resnet50", "mobilenetv1", "bert", "lstm", "speech"};
 
     std::vector<std::string> hdr = {"Network"};
     for (int64_t b : batches)
         hdr.push_back("b=" + std::to_string(b));
     Table t(hdr);
     Table lat(hdr);
-    for (const char *name : {"vgg16", "resnet50", "mobilenetv1",
-                             "bert", "lstm", "speech"}) {
-        Network net = benchmarkByName(name);
-        InferenceSession session(chip, net);
-        std::vector<std::string> row = {name}, lrow = {name};
-        double base = 0;
-        for (int64_t b : batches) {
+
+    // Flatten network x batch into independent design points and
+    // sweep in parallel; rows render serially afterwards.
+    const std::vector<NetworkPerf> perfs =
+        parallelMap(names.size() * batches.size(), [&](size_t idx) {
+            Network net = benchmarkByName(names[idx / batches.size()]);
+            InferenceSession session(chip, net);
             InferenceOptions opts;
             opts.target = Precision::INT4;
-            opts.batch = b;
-            NetworkPerf perf = session.run(opts).perf;
-            if (b == 1)
-                base = perf.samplesPerSecond();
+            opts.batch = batches[idx % batches.size()];
+            return session.run(opts).perf;
+        });
+
+    for (size_t n = 0; n < names.size(); ++n) {
+        std::vector<std::string> row = {names[n]}, lrow = {names[n]};
+        const double base =
+            perfs[n * batches.size()].samplesPerSecond();
+        for (size_t b = 0; b < batches.size(); ++b) {
+            const NetworkPerf &perf = perfs[n * batches.size() + b];
             row.push_back(
                 Table::fmt(perf.samplesPerSecond() / base, 2) + "x");
             lrow.push_back(Table::fmt(1e3 * perf.total_seconds, 2));
@@ -57,5 +69,12 @@ main()
                 "batching (their batch-1 GEMMs are block-load "
                 "bound), which is why the paper's batch-1 results "
                 "are their worst case.\n");
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return sweepMain("batch_sensitivity", argc, argv, runFigure);
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "arch/config.hh"
+#include "common/sweep.hh"
 #include "common/table.hh"
 #include "power/characterization.hh"
 
@@ -22,10 +23,8 @@ namespace {
 constexpr double kIntPipelineAreaOverhead = 0.16;
 constexpr double kInt4PipePowerVsFp16 = 0.30;
 
-} // namespace
-
-int
-main()
+void
+runFigure()
 {
     std::printf("=== Figure 4(c): MPE mixed-precision ablation ===\n\n");
 
@@ -66,5 +65,12 @@ main()
                     si.peakEfficiency(Precision::FP16, 1.5),
                 si.peakEfficiency(Precision::INT4, 1.5),
                 si.peakEfficiency(Precision::FP16, 1.5));
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return sweepMain("fig04_mpe_ablation", argc, argv, runFigure);
 }

@@ -11,13 +11,16 @@
 
 #include <cstdio>
 
+#include "common/sweep.hh"
 #include "common/table.hh"
 #include "power/characterization.hh"
 
 using namespace rapid;
 
-int
-main()
+namespace {
+
+void
+runFigure()
 {
     std::printf("=== Figure 10: 4-core RaPiD chip specification ===\n");
     std::printf("Technology 7nm EUV (modelled), 6mm x 6mm, 4 cores, "
@@ -48,5 +51,12 @@ main()
                 "TOPS/W peak.\n",
                 si.peakOps(Precision::INT2, 1.5) / 1e12,
                 si.peakEfficiency(Precision::INT2, 1.5));
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return sweepMain("fig10_chip_specs", argc, argv, runFigure);
 }

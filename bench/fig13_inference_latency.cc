@@ -9,17 +9,23 @@
  * compute-heavy CNNs gain most, mobile/lean networks least.
  */
 
+#include <array>
 #include <cstdio>
+#include <vector>
 
+#include "common/parallel.hh"
 #include "common/stats.hh"
+#include "common/sweep.hh"
 #include "common/table.hh"
 #include "runtime/session.hh"
 #include "workloads/networks.hh"
 
 using namespace rapid;
 
-int
-main()
+namespace {
+
+void
+runFigure()
 {
     std::printf("=== Figure 13: batch-1 inference on the 4-core chip "
                 "(1.5 GHz, 200 GB/s DDR) ===\n\n");
@@ -29,24 +35,30 @@ main()
              "FP8 speedup", "INT4 speedup", "INT4 latency (ms)"});
     SummaryStat fp8_spd, int4_spd;
 
-    for (const auto &net : allBenchmarks()) {
-        InferenceSession session(chip, net);
-        double sps[3];
-        int i = 0;
-        for (auto p : {Precision::FP16, Precision::HFP8,
-                       Precision::INT4}) {
+    // Every (network, precision) design point is an independent
+    // compile-and-evaluate; sweep them in parallel and gather by
+    // index, then render rows serially in the paper's order.
+    const std::vector<Network> nets = allBenchmarks();
+    const std::array<Precision, 3> precs = {
+        Precision::FP16, Precision::HFP8, Precision::INT4};
+    const std::vector<double> sps =
+        parallelMap(nets.size() * precs.size(), [&](size_t idx) {
+            InferenceSession session(chip, nets[idx / precs.size()]);
             InferenceOptions opts;
-            opts.target = p;
-            sps[i++] = session.run(opts).perf.samplesPerSecond();
-        }
-        double s8 = sps[1] / sps[0];
-        double s4 = sps[2] / sps[0];
+            opts.target = precs[idx % precs.size()];
+            return session.run(opts).perf.samplesPerSecond();
+        });
+
+    for (size_t n = 0; n < nets.size(); ++n) {
+        const double *s = &sps[n * precs.size()];
+        double s8 = s[1] / s[0];
+        double s4 = s[2] / s[0];
         fp8_spd.add(s8);
         int4_spd.add(s4);
-        t.addRow({net.name, Table::fmt(sps[0], 1),
-                  Table::fmt(sps[1], 1), Table::fmt(sps[2], 1),
+        t.addRow({nets[n].name, Table::fmt(s[0], 1),
+                  Table::fmt(s[1], 1), Table::fmt(s[2], 1),
                   Table::fmt(s8, 2), Table::fmt(s4, 2),
-                  Table::fmt(1000.0 / sps[2], 3)});
+                  Table::fmt(1000.0 / s[2], 3)});
     }
     t.print();
 
@@ -56,5 +68,12 @@ main()
     std::printf("INT4 speedup: %.2f - %.2f (avg %.2f)   "
                 "[paper: 1.4 - 4.2, avg 2.8]\n",
                 int4_spd.min(), int4_spd.max(), int4_spd.mean());
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return sweepMain("fig13_inference_latency", argc, argv, runFigure);
 }

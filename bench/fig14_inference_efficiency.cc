@@ -10,17 +10,29 @@
  * INT4 3-13.5 (avg 7) TOPS/W and 3.6x vs FP16.
  */
 
+#include <array>
 #include <cstdio>
+#include <vector>
 
+#include "common/parallel.hh"
 #include "common/stats.hh"
+#include "common/sweep.hh"
 #include "common/table.hh"
 #include "runtime/session.hh"
 #include "workloads/networks.hh"
 
 using namespace rapid;
 
-int
-main()
+namespace {
+
+struct EffPoint
+{
+    double tops_per_w = 0;
+    double avg_power_w = 0;
+};
+
+void
+runFigure()
 {
     std::printf("=== Figure 14: sustained TOPS/W on the 4-core chip "
                 "(nominal 1.0 GHz / 0.55 V point) ===\n\n");
@@ -30,30 +42,35 @@ main()
              "FP8 vs FP16", "INT4 vs FP16", "INT4 power (W)"});
     SummaryStat e16, e8, e4, r8, r4;
 
-    for (const auto &net : allBenchmarks()) {
-        InferenceSession session(chip, net);
-        double eff[3], pw[3];
-        int i = 0;
-        for (auto p : {Precision::FP16, Precision::HFP8,
-                       Precision::INT4}) {
+    // (network, precision) design points are independent; sweep them
+    // in parallel, gather by index, and reduce/render serially in the
+    // paper's order so output is bit-identical at any thread count.
+    const std::vector<Network> nets = allBenchmarks();
+    const std::array<Precision, 3> precs = {
+        Precision::FP16, Precision::HFP8, Precision::INT4};
+    const std::vector<EffPoint> pts =
+        parallelMap(nets.size() * precs.size(), [&](size_t idx) {
+            InferenceSession session(chip, nets[idx / precs.size()]);
             InferenceOptions opts;
-            opts.target = p;
+            opts.target = precs[idx % precs.size()];
             opts.power_report_freq_ghz = 1.0;
             EnergyReport e = session.run(opts).energy;
-            eff[i] = e.tops_per_w;
-            pw[i] = e.avg_power_w;
-            ++i;
-        }
-        e16.add(eff[0]);
-        e8.add(eff[1]);
-        e4.add(eff[2]);
-        r8.add(eff[1] / eff[0]);
-        r4.add(eff[2] / eff[0]);
-        t.addRow({net.name, Table::fmt(eff[0], 2),
-                  Table::fmt(eff[1], 2), Table::fmt(eff[2], 2),
-                  Table::fmt(eff[1] / eff[0], 2),
-                  Table::fmt(eff[2] / eff[0], 2),
-                  Table::fmt(pw[2], 2)});
+            return EffPoint{e.tops_per_w, e.avg_power_w};
+        });
+
+    for (size_t n = 0; n < nets.size(); ++n) {
+        const EffPoint *p = &pts[n * precs.size()];
+        e16.add(p[0].tops_per_w);
+        e8.add(p[1].tops_per_w);
+        e4.add(p[2].tops_per_w);
+        r8.add(p[1].tops_per_w / p[0].tops_per_w);
+        r4.add(p[2].tops_per_w / p[0].tops_per_w);
+        t.addRow({nets[n].name, Table::fmt(p[0].tops_per_w, 2),
+                  Table::fmt(p[1].tops_per_w, 2),
+                  Table::fmt(p[2].tops_per_w, 2),
+                  Table::fmt(p[1].tops_per_w / p[0].tops_per_w, 2),
+                  Table::fmt(p[2].tops_per_w / p[0].tops_per_w, 2),
+                  Table::fmt(p[2].avg_power_w, 2)});
     }
     t.print();
 
@@ -65,5 +82,13 @@ main()
                 "avg %.2fx vs FP16   [paper: 3 - 13.5, avg 7, "
                 "3.6x]\n",
                 e4.min(), e4.max(), e4.mean(), r4.mean());
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return sweepMain("fig14_inference_efficiency", argc, argv,
+                     runFigure);
 }

@@ -9,17 +9,23 @@
  * HFP8 throughput 102-588 (avg 203) TFLOPS.
  */
 
+#include <array>
 #include <cstdio>
+#include <vector>
 
+#include "common/parallel.hh"
 #include "common/stats.hh"
+#include "common/sweep.hh"
 #include "common/table.hh"
 #include "runtime/session.hh"
 #include "workloads/networks.hh"
 
 using namespace rapid;
 
-int
-main()
+namespace {
+
+void
+runFigure()
 {
     SystemConfig sys = makeTrainingSystem(4);
     std::printf("=== Figure 15: training throughput, 4-chip x 32-core "
@@ -29,14 +35,28 @@ main()
     Table t({"Network", "FP16 inputs/s", "HFP8 inputs/s",
              "HFP8 speedup", "HFP8 sustained TFLOPS", "Comm exposed"});
     SummaryStat spd, tops;
-    for (const auto &net : allBenchmarks()) {
-        TrainingSession session(sys, net);
-        TrainingPerf f = session.run({Precision::FP16, 512});
-        TrainingPerf h = session.run({Precision::HFP8, 512});
+
+    // Each (network, precision) training evaluation is independent;
+    // sweep in parallel and reduce serially in the paper's order.
+    const std::vector<Network> nets = allBenchmarks();
+    const std::array<Precision, 2> precs = {Precision::FP16,
+                                            Precision::HFP8};
+    const std::vector<TrainingPerf> perfs =
+        parallelMap(nets.size() * precs.size(), [&](size_t idx) {
+            TrainingSession session(sys, nets[idx / precs.size()]);
+            TrainingOptions opts;
+            opts.precision = precs[idx % precs.size()];
+            opts.minibatch = 512;
+            return session.run(opts);
+        });
+
+    for (size_t n = 0; n < nets.size(); ++n) {
+        const TrainingPerf &f = perfs[n * precs.size()];
+        const TrainingPerf &h = perfs[n * precs.size() + 1];
         double s = f.step_seconds / h.step_seconds;
         spd.add(s);
         tops.add(h.sustainedTops());
-        t.addRow({net.name, Table::fmt(f.samplesPerSecond(), 0),
+        t.addRow({nets[n].name, Table::fmt(f.samplesPerSecond(), 0),
                   Table::fmt(h.samplesPerSecond(), 0),
                   Table::fmt(s, 2), Table::fmt(h.sustainedTops(), 1),
                   Table::fmt(100 * h.comm_seconds / h.step_seconds, 1)
@@ -50,5 +70,13 @@ main()
     std::printf("HFP8 sustained: %.0f - %.0f (avg %.0f) TFLOPS   "
                 "[paper: 102 - 588, avg 203]\n",
                 tops.min(), tops.max(), tops.mean());
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return sweepMain("fig15_training_throughput", argc, argv,
+                     runFigure);
 }

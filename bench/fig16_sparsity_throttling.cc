@@ -10,16 +10,22 @@
  */
 
 #include <cstdio>
+#include <utility>
+#include <vector>
 
+#include "common/parallel.hh"
 #include "common/stats.hh"
+#include "common/sweep.hh"
 #include "common/table.hh"
 #include "runtime/session.hh"
 #include "workloads/networks.hh"
 
 using namespace rapid;
 
-int
-main()
+namespace {
+
+void
+runFigure()
 {
     ChipConfig chip = makeInferenceChip();
     PowerModel power(chip, 1.5);
@@ -43,16 +49,26 @@ main()
     Table b({"Network", "Avg weight sparsity", "Baseline inf/s",
              "Throttled inf/s", "Speedup"});
     SummaryStat spd;
-    for (auto &[net, avg] : prunedBenchmarks()) {
-        InferenceSession session(chip, net);
-        InferenceOptions base;
-        base.target = Precision::FP16;
-        InferenceOptions thr = base;
-        thr.sparsity_throttling = true;
-        double s0 = session.run(base).perf.samplesPerSecond();
-        double s1 = session.run(thr).perf.samplesPerSecond();
+
+    // Baseline and throttled runs of every pruned network are
+    // independent design points; sweep them in parallel.
+    const std::vector<std::pair<Network, double>> pruned =
+        prunedBenchmarks();
+    const std::vector<double> sps =
+        parallelMap(pruned.size() * 2, [&](size_t idx) {
+            InferenceSession session(chip, pruned[idx / 2].first);
+            InferenceOptions opts;
+            opts.target = Precision::FP16;
+            opts.sparsity_throttling = (idx % 2) == 1;
+            return session.run(opts).perf.samplesPerSecond();
+        });
+
+    for (size_t n = 0; n < pruned.size(); ++n) {
+        const double s0 = sps[n * 2];
+        const double s1 = sps[n * 2 + 1];
         spd.add(s1 / s0);
-        b.addRow({net.name, Table::fmt(100 * avg, 0) + "%",
+        b.addRow({pruned[n].first.name,
+                  Table::fmt(100 * pruned[n].second, 0) + "%",
                   Table::fmt(s0, 1), Table::fmt(s1, 1),
                   Table::fmt(s1 / s0, 2)});
     }
@@ -60,5 +76,13 @@ main()
     std::printf("\nSpeedup: %.2f - %.2f (avg %.2f)   [paper: 1.1 - "
                 "1.7, avg 1.3]\n",
                 spd.min(), spd.max(), spd.mean());
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return sweepMain("fig16_sparsity_throttling", argc, argv,
+                     runFigure);
 }

@@ -10,15 +10,20 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "common/parallel.hh"
+#include "common/sweep.hh"
 #include "common/table.hh"
 #include "runtime/session.hh"
 #include "workloads/networks.hh"
 
 using namespace rapid;
 
-int
-main()
+namespace {
+
+void
+runFigure()
 {
     std::printf("=== Figure 17: INT4 inference compute-cycle "
                 "breakdown (batch 1, 4-core chip) ===\n\n");
@@ -28,17 +33,26 @@ main()
              "Auxiliary", "Mem-exposed (extra)"});
     double sum[4] = {0, 0, 0, 0};
     int n = 0;
-    for (const auto &net : allBenchmarks()) {
-        InferenceSession session(chip, net);
-        InferenceOptions opts;
-        opts.target = Precision::INT4;
-        NetworkPerf perf = session.run(opts).perf;
-        const CycleBreakdown &b = perf.breakdown;
+
+    // Networks evaluate independently; sweep in parallel, render the
+    // gathered breakdowns serially in the paper's order.
+    const std::vector<Network> nets = allBenchmarks();
+    const std::vector<CycleBreakdown> breakdowns =
+        parallelMap(nets.size(), [&](size_t i) {
+            InferenceSession session(chip, nets[i]);
+            InferenceOptions opts;
+            opts.target = Precision::INT4;
+            return session.run(opts).perf.breakdown;
+        });
+
+    for (size_t i = 0; i < nets.size(); ++i) {
+        const Network &net = nets[i];
+        const CycleBreakdown &b = breakdowns[i];
         double busy = b.busy();
         double fr[4] = {b.conv_gemm / busy, b.overhead / busy,
                         b.quantization / busy, b.aux / busy};
-        for (int i = 0; i < 4; ++i)
-            sum[i] += fr[i];
+        for (int k = 0; k < 4; ++k)
+            sum[k] += fr[k];
         ++n;
         t.addRow({net.name, Table::fmt(100 * fr[0], 1) + "%",
                   Table::fmt(100 * fr[1], 1) + "%",
@@ -53,5 +67,12 @@ main()
     t.print();
     std::printf("\nPaper averages: Conv/GEMM 50%%, overheads 14%%, "
                 "quantization 17%%, auxiliary 19%%.\n");
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return sweepMain("fig17_cycle_breakdown", argc, argv, runFigure);
 }

@@ -13,18 +13,23 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/parallel.hh"
+#include "common/sweep.hh"
 #include "common/table.hh"
 #include "runtime/session.hh"
 #include "workloads/networks.hh"
 
 using namespace rapid;
 
-int
-main()
+namespace {
+
+void
+runFigure()
 {
     const std::vector<unsigned> core_counts = {1, 2, 4, 8, 16, 32};
-    const char *nets_a[] = {"vgg16", "resnet50", "yolov3", "ssd300",
-                            "mobilenetv1", "bert", "lstm"};
+    const std::vector<const char *> nets_a = {
+        "vgg16", "resnet50", "yolov3", "ssd300",
+        "mobilenetv1", "bert", "lstm"};
 
     std::printf("=== Figure 18(a): INT4 batch-1 inference speedup vs "
                 "cores (external BW fixed at 200 GB/s) ===\n\n");
@@ -32,21 +37,28 @@ main()
     for (unsigned c : core_counts)
         hdr.push_back(std::to_string(c) + " cores");
     Table a(hdr);
-    for (const char *name : nets_a) {
-        Network net = benchmarkByName(name);
-        std::vector<std::string> row = {name};
-        double t1 = 0;
-        for (unsigned c : core_counts) {
+
+    // Flatten network x core-count into independent design points;
+    // sweep in parallel, then render serially in the paper's order.
+    const std::vector<double> secs_a =
+        parallelMap(nets_a.size() * core_counts.size(), [&](size_t idx) {
+            Network net = benchmarkByName(nets_a[idx / core_counts.size()]);
             ChipConfig chip = makeInferenceChip();
-            chip.cores = c; // memory bandwidth intentionally fixed
+            chip.cores = core_counts[idx % core_counts.size()];
+            // memory bandwidth intentionally fixed
             InferenceSession session(chip, net);
             InferenceOptions opts;
             opts.target = Precision::INT4;
-            double t = session.run(opts).perf.total_seconds;
-            if (c == 1)
-                t1 = t;
-            row.push_back(Table::fmt(t1 / t, 2) + "x");
-        }
+            return session.run(opts).perf.total_seconds;
+        });
+
+    for (size_t n = 0; n < nets_a.size(); ++n) {
+        std::vector<std::string> row = {nets_a[n]};
+        const double t1 = secs_a[n * core_counts.size()];
+        for (size_t c = 0; c < core_counts.size(); ++c)
+            row.push_back(
+                Table::fmt(t1 / secs_a[n * core_counts.size() + c], 2)
+                + "x");
         a.addRow(row);
     }
     a.print();
@@ -54,25 +66,37 @@ main()
     std::printf("\n=== Figure 18(b): HFP8 training speedup vs chips "
                 "(32-core chips, 128 GB/s c2c, minibatch 512) ===\n\n");
     const std::vector<unsigned> chip_counts = {1, 2, 4, 8, 16, 32};
+    const std::vector<const char *> nets_b = {"vgg16", "resnet50",
+                                              "bert", "lstm", "speech"};
     std::vector<std::string> hdr_b = {"Network"};
     for (unsigned c : chip_counts)
         hdr_b.push_back(std::to_string(c) + " chips");
     Table b(hdr_b);
-    for (const char *name : {"vgg16", "resnet50", "bert", "lstm",
-                             "speech"}) {
-        Network net = benchmarkByName(name);
-        std::vector<std::string> row = {name};
-        double t1 = 0;
-        for (unsigned c : chip_counts) {
+
+    const std::vector<double> secs_b =
+        parallelMap(nets_b.size() * chip_counts.size(), [&](size_t idx) {
+            Network net = benchmarkByName(nets_b[idx / chip_counts.size()]);
+            unsigned c = chip_counts[idx % chip_counts.size()];
             TrainingSession session(makeTrainingSystem(c), net);
-            double t = session.run({Precision::HFP8, 512})
-                           .step_seconds;
-            if (c == 1)
-                t1 = t;
-            row.push_back(Table::fmt(t1 / t, 2) + "x");
-        }
+            return session.run({Precision::HFP8, 512}).step_seconds;
+        });
+
+    for (size_t n = 0; n < nets_b.size(); ++n) {
+        std::vector<std::string> row = {nets_b[n]};
+        const double t1 = secs_b[n * chip_counts.size()];
+        for (size_t c = 0; c < chip_counts.size(); ++c)
+            row.push_back(
+                Table::fmt(t1 / secs_b[n * chip_counts.size() + c], 2)
+                + "x");
         b.addRow(row);
     }
     b.print();
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return sweepMain("fig18_system_scaling", argc, argv, runFigure);
 }

@@ -8,8 +8,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "common/parallel.hh"
 #include "common/stats.hh"
+#include "common/sweep.hh"
 #include "common/table.hh"
 #include "func/trainer.hh"
 #include "runtime/session.hh"
@@ -17,8 +20,10 @@
 
 using namespace rapid;
 
-int
-main()
+namespace {
+
+void
+runFigure()
 {
     std::printf("=== Future work: INT2 inference on the 4-core chip "
                 "===\n\n");
@@ -27,19 +32,27 @@ main()
     Table t({"Network", "INT4 inf/s", "INT2 inf/s", "INT2 vs INT4",
              "INT2 TOPS/W"});
     SummaryStat gain;
-    for (const auto &net : allBenchmarks()) {
-        InferenceSession session(chip, net);
-        InferenceOptions o4;
-        o4.target = Precision::INT4;
-        o4.power_report_freq_ghz = 1.0;
-        InferenceOptions o2 = o4;
-        o2.target = Precision::INT2;
-        InferenceResult r4 = session.run(o4);
-        InferenceResult r2 = session.run(o2);
+
+    // (network, precision) pairs evaluate independently; sweep in
+    // parallel and reduce serially in the benchmark order.
+    const std::vector<Network> nets = allBenchmarks();
+    const std::vector<InferenceResult> results =
+        parallelMap(nets.size() * 2, [&](size_t idx) {
+            InferenceSession session(chip, nets[idx / 2]);
+            InferenceOptions opts;
+            opts.target = (idx % 2) == 0 ? Precision::INT4
+                                         : Precision::INT2;
+            opts.power_report_freq_ghz = 1.0;
+            return session.run(opts);
+        });
+
+    for (size_t n = 0; n < nets.size(); ++n) {
+        const InferenceResult &r4 = results[n * 2];
+        const InferenceResult &r2 = results[n * 2 + 1];
         double g = r2.perf.samplesPerSecond() /
                    r4.perf.samplesPerSecond();
         gain.add(g);
-        t.addRow({net.name,
+        t.addRow({nets[n].name,
                   Table::fmt(r4.perf.samplesPerSecond(), 0),
                   Table::fmt(r2.perf.samplesPerSecond(), 0),
                   Table::fmt(g, 2) + "x",
@@ -63,5 +76,12 @@ main()
                 "INT4 %.1f%%, INT2 %.1f%%\n",
                 100 * p4.baseline_accuracy, 100 * p4.reduced_accuracy,
                 100 * p2.reduced_accuracy);
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return sweepMain("int2_future_work", argc, argv, runFigure);
 }

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Assemble the per-figure sweep timing report.
+
+Bench drivers append one JSON line per run to the file named by
+RAPID_SWEEP_JSON ({"figure": ..., "threads": ..., "wall_seconds":
+...}). This script merges those lines — keeping the last entry per
+(figure, threads) pair — computes each figure's speedup against its
+own single-thread run when one exists, writes the merged records to
+BENCH_sweeps.json, and prints a per-figure timing table.
+
+Usage: assemble_sweeps.py <raw-jsonl> [<output-json>]
+"""
+
+import json
+import sys
+
+
+def load_records(path):
+    records = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"{path}:{line_no}: bad sweep record: {exc}"
+                )
+            key = (rec["figure"], int(rec["threads"]))
+            records[key] = float(rec["wall_seconds"])
+    return records
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    raw_path = argv[1]
+    out_path = argv[2] if len(argv) == 3 else "BENCH_sweeps.json"
+
+    records = load_records(raw_path)
+    if not records:
+        raise SystemExit(f"{raw_path}: no sweep records found")
+
+    baselines = {
+        fig: secs for (fig, thr), secs in records.items() if thr == 1
+    }
+    merged = []
+    for (fig, thr), secs in sorted(records.items()):
+        entry = {
+            "figure": fig,
+            "threads": thr,
+            "wall_seconds": secs,
+        }
+        base = baselines.get(fig)
+        if base is not None and secs > 0:
+            entry["speedup_vs_1thread"] = base / secs
+        merged.append(entry)
+
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=2)
+        fh.write("\n")
+
+    width = max(len(fig) for fig, _ in records) + 2
+    print(f"{'figure':<{width}}{'threads':>8}{'seconds':>12}"
+          f"{'speedup':>10}")
+    for entry in merged:
+        speedup = entry.get("speedup_vs_1thread")
+        speedup_s = f"{speedup:.2f}x" if speedup is not None else "-"
+        print(f"{entry['figure']:<{width}}{entry['threads']:>8}"
+              f"{entry['wall_seconds']:>12.3f}{speedup_s:>10}")
+    print(f"\nwrote {out_path} ({len(merged)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

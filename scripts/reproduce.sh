@@ -2,19 +2,53 @@
 # Reproduce everything: build, run the full test suite, regenerate
 # every paper figure, and run the examples, archiving the outputs at
 # the repository root (test_output.txt / bench_output.txt /
-# examples_output.txt). See EXPERIMENTS.md for the paper-vs-measured
-# comparison of what these outputs should contain.
+# examples_output.txt / BENCH_sweeps.json). Fails fast: the first
+# failing step aborts the run with that step named. See
+# EXPERIMENTS.md for the paper-vs-measured comparison of what these
+# outputs should contain.
+#
+# Environment knobs:
+#   RAPID_THREADS  sweep thread count for the figure runs
+#                  (default: hardware concurrency)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+fail() {
+    echo "reproduce.sh: FAILED during $1" >&2
+    exit 1
+}
 
-ctest --test-dir build 2>&1 | tee test_output.txt
-(for b in build/bench/*; do "$b"; done) 2>&1 | tee bench_output.txt
+cmake -B build -G Ninja || fail "configure"
+cmake --build build || fail "build"
+
+ctest --test-dir build 2>&1 | tee test_output.txt || fail "ctest"
+
+# Figure sweeps: every driver appends its wall-clock record to the
+# sweep log, which assemble_sweeps.py merges into BENCH_sweeps.json.
+export RAPID_SWEEP_JSON="$PWD/build/sweeps_raw.jsonl"
+rm -f "$RAPID_SWEEP_JSON"
+(for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "===== $b"
+    "$b" || exit 1
+    echo
+ done) 2>&1 | tee bench_output.txt || fail "bench figures"
+
+# Single-thread baselines for the heavier sweeps so the timing report
+# can show the parallel speedup.
+for fig in fig13_inference_latency fig14_inference_efficiency \
+           fig15_training_throughput; do
+    build/bench/"$fig" --threads 1 > /dev/null || fail "$fig baseline"
+done
+
+echo
+echo "===== per-figure sweep timing"
+python3 scripts/assemble_sweeps.py "$RAPID_SWEEP_JSON" \
+    BENCH_sweeps.json || fail "sweep timing report"
+
 (for e in build/examples/*; do
     [ -x "$e" ] && [ -f "$e" ] || continue
     echo "===== $e"
-    "$e"
+    "$e" || exit 1
     echo
- done) 2>&1 | tee examples_output.txt
+ done) 2>&1 | tee examples_output.txt || fail "examples"

@@ -1,0 +1,209 @@
+#include "common/parallel.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace rapid {
+
+namespace {
+
+/// Depth of pool tasks on this thread (0 outside any task).
+thread_local int tls_task_depth = 0;
+
+/// RAII marker for code running as a pool task.
+struct TaskScope
+{
+    TaskScope() { ++tls_task_depth; }
+    ~TaskScope() { --tls_task_depth; }
+};
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+std::atomic<unsigned> g_thread_override{0};
+
+} // namespace
+
+bool
+ThreadPool::inTask()
+{
+    return tls_task_depth > 0;
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    const unsigned override_n =
+        g_thread_override.load(std::memory_order_relaxed);
+    if (override_n > 0)
+        return override_n;
+    if (const char *env = std::getenv("RAPID_THREADS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n >= 1 && n <= 1024)
+            return unsigned(n);
+        rapid_warn("ignoring RAPID_THREADS=", env,
+                   " (expected 1..1024)");
+    }
+    return hardwareThreads();
+}
+
+void
+ThreadPool::setDefaultThreads(unsigned n)
+{
+    rapid_assert(n <= 1024, "unreasonable thread count ", n);
+    rapid_assert(!inTask(),
+                 "cannot resize the shared ThreadPool from inside a "
+                 "pool task");
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    g_thread_override.store(n, std::memory_order_relaxed);
+    if (g_pool && g_pool->numThreads() == defaultThreads())
+        return; // already the right size; keep the warm pool
+    g_pool.reset();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(0);
+    return *g_pool;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : numThreads_(threads > 0 ? threads : defaultThreads())
+{
+    rapid_assert(numThreads_ >= 1 && numThreads_ <= 1024,
+                 "unreasonable thread count ", numThreads_);
+    workers_.reserve(numThreads_ - 1);
+    for (unsigned i = 0; i + 1 < numThreads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::runSome(Batch &batch)
+{
+    {
+        TaskScope scope;
+        for (;;) {
+            const size_t i =
+                batch.next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= batch.n)
+                break;
+            try {
+                (*batch.fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(batch.mu);
+                if (!batch.first_error)
+                    batch.first_error = std::current_exception();
+            }
+        }
+    }
+    if (batch.live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(batch.mu);
+        batch.finished = true;
+        batch.done_cv.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            workCv_.wait(lk, [&] {
+                return stop_ || (batch_ && batch_->seq != seen);
+            });
+            if (stop_)
+                return;
+            batch = batch_;
+            seen = batch->seq;
+        }
+        runSome(*batch);
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (inTask())
+        throw std::logic_error(
+            "nested ThreadPool::parallelFor from inside a pool task; "
+            "use rapid::parallelFor, which serializes nested regions");
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        // Serial fast path: run inline on the caller, still marked as
+        // a task so nesting rules behave identically at any size.
+        TaskScope scope;
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // One fork-join region at a time; concurrent callers queue here.
+    std::lock_guard<std::mutex> submit(submitMu_);
+
+    auto batch = std::make_shared<Batch>();
+    batch->n = n;
+    batch->fn = &fn;
+    // Every worker plus the caller participates; a participant that
+    // finds the index space drained just leaves again.
+    batch->live.store(unsigned(workers_.size()) + 1,
+                      std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        batch->seq = nextSeq_++;
+        batch_ = batch;
+    }
+    workCv_.notify_all();
+
+    runSome(*batch);
+
+    {
+        std::unique_lock<std::mutex> lk(batch->mu);
+        batch->done_cv.wait(lk, [&] { return batch->finished; });
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        batch_.reset();
+    }
+    if (batch->first_error)
+        std::rethrow_exception(batch->first_error);
+}
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (ThreadPool::inTask()) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool::global().parallelFor(n, fn);
+}
+
+} // namespace rapid

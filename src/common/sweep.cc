@@ -1,0 +1,85 @@
+#include "common/sweep.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+
+namespace rapid {
+
+namespace {
+
+struct SweepOptions
+{
+    unsigned threads = 0; ///< 0 = RAPID_THREADS env / hardware default
+    std::string json_path; ///< empty = RAPID_SWEEP_JSON env, if any
+};
+
+SweepOptions
+parseArgs(const std::string &figure, int argc, char **argv)
+{
+    SweepOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            const std::string prefix = std::string(flag) + "=";
+            if (arg.rfind(prefix, 0) == 0)
+                return arg.substr(prefix.size());
+            if (arg == flag && i + 1 < argc)
+                return argv[++i];
+            rapid_fatal(figure, ": ", flag, " requires a value");
+        };
+        if (arg == "--threads" || arg.rfind("--threads=", 0) == 0) {
+            const std::string v = value("--threads");
+            const long n = std::strtol(v.c_str(), nullptr, 10);
+            if (n < 1 || n > 1024)
+                rapid_fatal(figure, ": bad --threads value '", v,
+                            "' (expected 1..1024)");
+            opts.threads = unsigned(n);
+        } else if (arg == "--sweep-json" ||
+                   arg.rfind("--sweep-json=", 0) == 0) {
+            opts.json_path = value("--sweep-json");
+        } else {
+            rapid_fatal(figure, ": unknown argument '", arg,
+                        "' (supported: --threads N, --sweep-json "
+                        "PATH)");
+        }
+    }
+    if (opts.json_path.empty()) {
+        if (const char *env = std::getenv("RAPID_SWEEP_JSON"))
+            opts.json_path = env;
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+sweepMain(const std::string &figure, int argc, char **argv,
+          const std::function<void()> &body)
+{
+    const SweepOptions opts = parseArgs(figure, argc, argv);
+    ThreadPool::setDefaultThreads(opts.threads);
+    const unsigned threads = ThreadPool::global().numThreads();
+
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+
+    if (!opts.json_path.empty()) {
+        std::ofstream out(opts.json_path, std::ios::app);
+        if (!out) {
+            rapid_warn("cannot append sweep record to ",
+                       opts.json_path);
+            return 0;
+        }
+        out << "{\"figure\":\"" << figure << "\",\"threads\":" << threads
+            << ",\"wall_seconds\":" << wall.count() << "}\n";
+    }
+    return 0;
+}
+
+} // namespace rapid

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared entry point for the bench/fig* drivers: parses the sweep
+ * flags every figure accepts, sizes the shared ThreadPool, times the
+ * figure body, and records the wall-clock measurement as one JSON
+ * line so scripts/reproduce.sh can assemble BENCH_sweeps.json (the
+ * repo's recorded perf trajectory).
+ *
+ * Flags / environment:
+ *   --threads N        thread count for this run (RAPID_THREADS env
+ *                      is the fallback; hardware concurrency the
+ *                      default)
+ *   --sweep-json PATH  append the timing record to PATH
+ *   RAPID_SWEEP_JSON   environment fallback for --sweep-json
+ *
+ * The timing record goes to the JSON file only — never to stdout —
+ * so figure output stays bit-identical across thread counts and the
+ * golden-figure regression tests can diff it verbatim.
+ */
+
+#ifndef RAPID_COMMON_SWEEP_HH
+#define RAPID_COMMON_SWEEP_HH
+
+#include <functional>
+#include <string>
+
+namespace rapid {
+
+/**
+ * Run a figure driver: parse @p argc/@p argv, configure the pool,
+ * execute @p body once, and append the timing record. Returns the
+ * process exit code (0 on success, 2 on bad usage).
+ */
+int sweepMain(const std::string &figure, int argc, char **argv,
+              const std::function<void()> &body);
+
+} // namespace rapid
+
+#endif // RAPID_COMMON_SWEEP_HH

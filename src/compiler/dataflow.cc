@@ -1,9 +1,11 @@
 #include "compiler/dataflow.hh"
 
 #include <limits>
+#include <vector>
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace rapid {
 
@@ -115,14 +117,24 @@ DataflowMapper::map(const Layer &layer, int64_t batch, Precision p)
     const MappedShape shape = mappedShape(layer, batch);
     const int w = workers();
 
+    // The compiler's design-space exploration: every divisor split of
+    // the workers is an independent candidate, so they evaluate in
+    // parallel and the argmin below scans the gathered results in the
+    // same order a serial loop would, keeping the chosen mapping
+    // bit-identical at any thread count.
+    std::vector<int> splits;
+    for (int w_co = 1; w_co <= w; ++w_co)
+        if (w % w_co == 0)
+            splits.push_back(w_co);
+    const std::vector<Mapping> candidates =
+        parallelMap(splits.size(), [&](size_t i) {
+            return evaluateSplit(shape, p, splits[i], w / splits[i]);
+        });
+
     Mapping best;
     double best_cycles = std::numeric_limits<double>::infinity();
-    for (int w_co = 1; w_co <= w; ++w_co) {
-        if (w % w_co != 0)
-            continue;
-        const int w_pos = w / w_co;
-        Mapping m = evaluateSplit(shape, p, w_co, w_pos);
-        double cycles = (m.totalCycles()) * layer.repeat;
+    for (const Mapping &m : candidates) {
+        const double cycles = m.totalCycles() * layer.repeat;
         if (cycles < best_cycles) {
             best_cycles = cycles;
             best = m;

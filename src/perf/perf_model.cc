@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace rapid {
 
@@ -168,14 +169,19 @@ PerfModel::evaluate(const Network &net, const ExecutionPlan &plan,
     result.batch = batch;
 
     const bool weights_resident = weightsFitOnChip(net, plan);
-    for (size_t i = 0; i < net.layers.size(); ++i) {
-        LayerPerf lp = evaluateLayer(net.layers[i], plan.at(i), batch,
-                                     weights_resident);
+    // Layers are independent given the plan, so they evaluate in
+    // parallel; the accumulation below runs serially in layer order,
+    // so totals are bit-identical to a serial evaluation at any
+    // thread count.
+    result.layers = parallelMap(net.layers.size(), [&](size_t i) {
+        return evaluateLayer(net.layers[i], plan.at(i), batch,
+                             weights_resident);
+    });
+    for (const LayerPerf &lp : result.layers) {
         result.breakdown += lp.cycles;
         result.total_seconds += lp.seconds;
         result.total_macs += lp.macs;
         result.mem_bytes += lp.mem_bytes;
-        result.layers.push_back(std::move(lp));
     }
     return result;
 }
@@ -227,22 +233,31 @@ TrainingPerfModel::evaluate(const Network &net, Precision precision,
     popts.target = precision;
     ExecutionPlan plan = assignPrecision(net, popts);
 
+    // Per-layer forward costs are independent; evaluate them in
+    // parallel and merge serially in layer order below so the result
+    // is bit-identical at any thread count.
+    const std::vector<LayerPerf> fwd =
+        parallelMap(net.layers.size(), [&](size_t i) {
+            const Layer &layer = net.layers[i];
+            const bool aux = layer.type == LayerType::Aux;
+            return chip_model.evaluateLayer(
+                layer, plan.at(i), batch_local,
+                aux || weights_resident);
+        });
+
     bool first_compute_seen = false;
     double total_cycles = 0;
     double act_traffic_bytes = 0;
     for (size_t i = 0; i < net.layers.size(); ++i) {
         const Layer &layer = net.layers[i];
         const LayerPlan &lp = plan.at(i);
+        const LayerPerf &f = fwd[i];
         if (layer.type == LayerType::Aux) {
             // Forward activation, backward activation-gradient, and
             // the BN-statistics / optimizer elementwise work.
-            LayerPerf f = chip_model.evaluateLayer(layer, lp,
-                                                   batch_local, true);
             total_cycles += 3.0 * f.cycles.total();
             continue;
         }
-        LayerPerf f = chip_model.evaluateLayer(layer, lp, batch_local,
-                                               weights_resident);
         // Forward, data-gradient, and weight-gradient passes have the
         // same MAC volume; the first layer skips the data gradient.
         double passes = first_compute_seen ? 3.0 : 2.0;

@@ -1,6 +1,7 @@
 #include "runtime/session.hh"
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace rapid {
 
@@ -26,6 +27,8 @@ InferenceSession::compile(const InferenceOptions &opts) const
 InferenceResult
 InferenceSession::run(const InferenceOptions &opts) const
 {
+    if (opts.threads > 0)
+        ThreadPool::setDefaultThreads(opts.threads);
     InferenceResult result;
     result.plan = compile(opts);
     rapid_dassert(result.plan.layers.size() == net_.layers.size(),
@@ -48,6 +51,8 @@ TrainingSession::TrainingSession(const SystemConfig &sys, Network net)
 TrainingPerf
 TrainingSession::run(const TrainingOptions &opts) const
 {
+    if (opts.threads > 0)
+        ThreadPool::setDefaultThreads(opts.threads);
     TrainingPerfModel model(sys_);
     return model.evaluate(net_, opts.precision, opts.minibatch);
 }

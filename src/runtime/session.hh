@@ -40,6 +40,11 @@ struct InferenceOptions
     /// Operating point for the efficiency report; 0 keeps the chip's
     /// configured frequency.
     double power_report_freq_ghz = 0.0;
+    /// Evaluation threads (the --threads flag): resizes the shared
+    /// ThreadPool before the sweep; 0 keeps the process-wide default
+    /// (RAPID_THREADS env, else hardware concurrency). Results are
+    /// bit-identical at any thread count.
+    unsigned threads = 0;
 };
 
 /** Everything an inference run produces. */
@@ -75,6 +80,8 @@ struct TrainingOptions
 {
     Precision precision = Precision::HFP8;
     int64_t minibatch = 512;
+    /// Evaluation threads; see InferenceOptions::threads.
+    unsigned threads = 0;
 };
 
 /** Session for a multi-chip training system. */

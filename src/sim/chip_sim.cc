@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace rapid {
 
@@ -174,6 +175,16 @@ ChipSim::run(const LayerProgram &prog, Tick lrf_load_cycles)
     for (const auto &c : cores)
         stats.cores.push_back(c->stats());
     return stats;
+}
+
+std::vector<ChipRunStats>
+ChipSim::runBatch(const std::vector<LayerProgram> &progs,
+                  Tick lrf_load_cycles) const
+{
+    return parallelMap(progs.size(), [&](size_t i) {
+        ChipSim sim(numCores_, multicast_, mniCfg_);
+        return sim.run(progs[i], lrf_load_cycles);
+    });
 }
 
 } // namespace rapid

@@ -70,6 +70,21 @@ class ChipSim
     ChipRunStats run(const LayerProgram &prog,
                      Tick lrf_load_cycles = 8);
 
+    /**
+     * Run a batch of independent layer programs, one full chip
+     * simulation each, in parallel on the shared ThreadPool.
+     *
+     * Within one simulated cycle the cores all share the MNI fabric
+     * and the memory node, so the safe (and deterministic) batch axis
+     * is across simulations, not across cores inside one: each batch
+     * entry gets its own event queue and fabric, tasks share no
+     * mutable state, and results gather by index. Output is
+     * bit-identical to calling run() in a loop.
+     */
+    std::vector<ChipRunStats> runBatch(
+        const std::vector<LayerProgram> &progs,
+        Tick lrf_load_cycles = 8) const;
+
   private:
     unsigned numCores_;
     bool multicast_;

@@ -1,0 +1,34 @@
+# Golden-figure regression runner, invoked by ctest as
+#   cmake -DBIN=<bench binary> -DGOLDEN=<snapshot> -DOUT=<capture> \
+#         -P run_golden.cmake
+#
+# Runs the figure at --threads 4 and requires stdout to match the
+# checked-in snapshot byte for byte. The sweep engine gathers results
+# by index and reduces serially, so output is identical at any thread
+# count; a mismatch here means the model's numbers moved (update the
+# snapshot deliberately via scripts/update_goldens.sh) or determinism
+# broke (fix the code).
+
+foreach(var BIN GOLDEN OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_golden.cmake: missing -D${var}=...")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${BIN} --threads 4
+    OUTPUT_FILE ${OUT}
+    RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "${BIN} exited with status ${run_rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN} ${OUT}
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    execute_process(COMMAND diff -u ${GOLDEN} ${OUT})
+    message(FATAL_ERROR
+        "golden mismatch: ${OUT} differs from ${GOLDEN}; if the change "
+        "is intentional, run scripts/update_goldens.sh")
+endif()

@@ -136,6 +136,103 @@ checkMonotonic(const FloatFormat &f)
     }
 }
 
+/**
+ * Signed total order, exhaustively: rank every pattern by its
+ * sign-magnitude key (negative patterns descend as the magnitude
+ * field grows) and require decoded values to follow float ordering —
+ * strictly so between canonical patterns, since distinct canonical
+ * encodings must name distinct values.
+ */
+void
+checkSignedTotalOrder(const FloatFormat &f)
+{
+    const uint32_t sign_bit = 1u << (f.storageBits() - 1);
+    const uint32_t mag_mask = sign_bit - 1;
+    std::vector<uint32_t> order;
+    order.reserve(f.numEncodings());
+    // Negative patterns, largest magnitude first, then positives.
+    for (uint32_t m = mag_mask + 1; m-- > 0;)
+        order.push_back(sign_bit | m);
+    for (uint32_t m = 0; m <= mag_mask; ++m)
+        order.push_back(m);
+
+    bool have_prev = false;
+    float prev = 0.0f;
+    bool prev_canonical = false;
+    for (uint32_t p : order) {
+        if (f.isNan(p))
+            continue;
+        float v = f.decode(p);
+        bool canonical = f.encode(v) == p;
+        if (have_prev) {
+            EXPECT_GE(v, prev) << f.name() << " p=" << p;
+            // Two canonical non-zero neighbours are strictly ordered
+            // (only +0/-0 decode to the same float).
+            if (canonical && prev_canonical
+                && !(v == 0.0f && prev == 0.0f)) {
+                EXPECT_GT(v, prev) << f.name() << " p=" << p;
+            }
+        }
+        have_prev = true;
+        prev = v;
+        prev_canonical = canonical;
+    }
+}
+
+/**
+ * NaN/Inf region, exhaustively: with merged-NaN semantics every
+ * all-ones-exponent pattern reads back as NaN and re-encodes to the
+ * canonical symbol; every other pattern reads back finite. Without
+ * special encodings no pattern may ever decode to NaN or Inf.
+ */
+void
+checkNanRegionExhaustive(const FloatFormat &f)
+{
+    const uint32_t sign_bit = 1u << (f.storageBits() - 1);
+    for (uint32_t p = 0; p < f.numEncodings(); ++p) {
+        float v = f.decode(p);
+        if (f.isNan(p)) {
+            EXPECT_TRUE(std::isnan(v)) << f.name() << " p=" << p;
+            // Any mantissa in the region canonicalizes on re-encode.
+            EXPECT_EQ(f.encode(v) & ~sign_bit, f.nanBits())
+                << f.name() << " p=" << p;
+        } else {
+            EXPECT_TRUE(std::isfinite(v)) << f.name() << " p=" << p;
+        }
+    }
+    if (f.hasInfNan()) {
+        const float inf = std::numeric_limits<float>::infinity();
+        EXPECT_EQ(f.encode(inf), f.nanBits());
+        EXPECT_EQ(f.encode(-inf), sign_bit | f.nanBits());
+        EXPECT_TRUE(f.isNan(f.encode(std::nanf(""))));
+    } else {
+        // Saturating format: Inf clamps to the largest finite value.
+        const float inf = std::numeric_limits<float>::infinity();
+        EXPECT_EQ(f.decode(f.encode(inf)), f.maxFinite());
+        EXPECT_EQ(f.decode(f.encode(-inf)), -f.maxFinite());
+    }
+}
+
+/**
+ * Idempotence, exhaustively and for every rounding mode: a value the
+ * format can represent is a fixed point of quantize() no matter how
+ * ties would round.
+ */
+void
+checkIdempotentExhaustive(const FloatFormat &f)
+{
+    for (uint32_t p = 0; p < f.numEncodings(); ++p) {
+        if (f.isNan(p))
+            continue;
+        float v = f.decode(p);
+        for (Rounding mode : {Rounding::NearestEven, Rounding::NearestUp,
+                              Rounding::Truncate}) {
+            EXPECT_EQ(f.quantize(v, mode), v)
+                << f.name() << " p=" << p << " mode=" << int(mode);
+        }
+    }
+}
+
 class SmallFormatTest : public ::testing::TestWithParam<FloatFormat>
 {
 };
@@ -148,6 +245,21 @@ TEST_P(SmallFormatTest, RoundTripExhaustive)
 TEST_P(SmallFormatTest, MonotonicDecode)
 {
     checkMonotonic(GetParam());
+}
+
+TEST_P(SmallFormatTest, SignedTotalOrderExhaustive)
+{
+    checkSignedTotalOrder(GetParam());
+}
+
+TEST_P(SmallFormatTest, NanRegionExhaustive)
+{
+    checkNanRegionExhaustive(GetParam());
+}
+
+TEST_P(SmallFormatTest, QuantizeIdempotentExhaustive)
+{
+    checkIdempotentExhaustive(GetParam());
 }
 
 TEST_P(SmallFormatTest, QuantizeIsIdempotent)

@@ -1,0 +1,11 @@
+// Fixture: raw thread primitives outside src/common/parallel.* must
+// trip the no-raw-thread check; sweeps must go through the
+// deterministic rapid::ThreadPool.
+#include <thread>
+
+void
+spawnUnmanaged()
+{
+    std::thread worker([] {});
+    worker.detach();
+}

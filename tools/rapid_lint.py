@@ -9,6 +9,9 @@ Checks
                   (the compiler's -Wfloat-equal on that target is the
                   authoritative backstop for variable-vs-variable cases)
   include-guard   headers under src/ guard with RAPID_<DIR>_<FILE>_HH
+  no-raw-thread   no std::thread/std::jthread/pthread_create/.detach()
+                  outside src/common/parallel.*; all parallelism goes
+                  through the deterministic rapid::ThreadPool
 
 A finding on a given line can be waived with a trailing comment:
     // rapid-lint: allow(<check-name>)
@@ -43,6 +46,13 @@ FLOAT_EQ_RE = re.compile(
     r"[=!]=\s*[-+]?(?:{lit})(?![A-Za-z0-9_.])"
     r"|(?:{lit})\s*[=!]=".format(lit=FLOAT_LIT))
 GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\S+)", re.M)
+THREAD_RE = re.compile(
+    r"std::(?:thread|jthread)\b"
+    r"|(?<![A-Za-z0-9_])pthread_create\s*\("
+    r"|\.detach\s*\(")
+
+# The one place allowed to own raw threads: the deterministic pool.
+THREAD_ALLOWED = ("src/common/parallel.",)
 
 
 def strip_noise(line):
@@ -126,6 +136,14 @@ class Linter:
             self.report(posix, lineno, "no-rand",
                         "use the seeded rapid::Rng from "
                         "common/random.hh, not rand()/srand()")
+        if ("no-raw-thread" not in allowed
+                and not posix.startswith(THREAD_ALLOWED)
+                and THREAD_RE.search(line)):
+            self.report(posix, lineno, "no-raw-thread",
+                        "raw thread primitive outside "
+                        "src/common/parallel.*; use rapid::parallelFor "
+                        "or rapid::ThreadPool so sweeps stay "
+                        "deterministic")
         if ("float-eq" not in allowed and posix.startswith("src/precision/")
                 and FLOAT_EQ_RE.search(line)):
             self.report(posix, lineno, "float-eq",
