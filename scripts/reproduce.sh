@@ -37,7 +37,7 @@ rm -f "$RAPID_SWEEP_JSON"
 # Single-thread baselines for the heavier sweeps so the timing report
 # can show the parallel speedup.
 for fig in fig13_inference_latency fig14_inference_efficiency \
-           fig15_training_throughput; do
+           fig15_training_throughput fault_sweep; do
     build/bench/"$fig" --threads 1 > /dev/null || fail "$fig baseline"
 done
 

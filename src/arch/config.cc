@@ -1,6 +1,55 @@
 #include "arch/config.hh"
 
+#include <cmath>
+
+#include "common/error.hh"
+
 namespace rapid {
+
+void
+validateChipConfig(const ChipConfig &chip)
+{
+    RAPID_CHECK_CONFIG(chip.cores >= 1, "chip needs at least one core");
+    RAPID_CHECK_CONFIG(chip.core.corelets >= 1,
+                       "core needs at least one corelet");
+    RAPID_CHECK_CONFIG(chip.core.corelet.mpe_rows >= 1 &&
+                           chip.core.corelet.mpe_cols >= 1,
+                       "corelet needs a non-empty MPE array, got ",
+                       chip.core.corelet.mpe_rows, "x",
+                       chip.core.corelet.mpe_cols);
+    RAPID_CHECK_CONFIG(std::isfinite(chip.core_freq_ghz) &&
+                           chip.core_freq_ghz > 0.0,
+                       "core_freq_ghz must be positive, got ",
+                       chip.core_freq_ghz);
+    RAPID_CHECK_CONFIG(std::isfinite(chip.ring_freq_ghz) &&
+                           chip.ring_freq_ghz > 0.0,
+                       "ring_freq_ghz must be positive, got ",
+                       chip.ring_freq_ghz);
+    RAPID_CHECK_CONFIG(chip.ring_bw_bytes_per_cycle >= 1,
+                       "ring_bw_bytes_per_cycle must be >= 1");
+    RAPID_CHECK_CONFIG(std::isfinite(chip.mem_gbps) &&
+                           chip.mem_gbps > 0.0,
+                       "mem_gbps must be positive, got ", chip.mem_gbps);
+    RAPID_CHECK_CONFIG(chip.activeCores() >= 1,
+                       "dead_core_mask ", chip.dead_core_mask,
+                       " leaves no live core out of ", chip.cores);
+    RAPID_CHECK_CONFIG(chip.activeMpeRows() >= 1,
+                       "dead_mpe_row_mask ", chip.dead_mpe_row_mask,
+                       " leaves no live MPE row out of ",
+                       chip.core.corelet.mpe_rows);
+}
+
+void
+validateSystemConfig(const SystemConfig &sys)
+{
+    validateChipConfig(sys.chip);
+    RAPID_CHECK_CONFIG(sys.num_chips >= 1,
+                       "system needs at least one chip");
+    RAPID_CHECK_CONFIG(std::isfinite(sys.chip_to_chip_gbps) &&
+                           sys.chip_to_chip_gbps > 0.0,
+                       "chip_to_chip_gbps must be positive, got ",
+                       sys.chip_to_chip_gbps);
+}
 
 ChipConfig
 makeInferenceChip(double freq_ghz)

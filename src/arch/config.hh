@@ -10,6 +10,7 @@
 #ifndef RAPID_ARCH_CONFIG_HH
 #define RAPID_ARCH_CONFIG_HH
 
+#include <bit>
 #include <cstdint>
 
 #include "common/units.hh"
@@ -115,12 +116,46 @@ struct ChipConfig
     /// External memory bandwidth (DDR for inference, HBM for the
     /// scaled training chip).
     double mem_gbps = 200.0;
+    /// Degraded-mode masks: bit i set marks core i (or MPE array row
+    /// r, uniformly in every corelet) permanently dead — a hard unit
+    /// failure or a binned-out yield defect. The mapper and the
+    /// performance model derate capacity instead of refusing to run.
+    uint64_t dead_core_mask = 0;
+    uint64_t dead_mpe_row_mask = 0;
+
+    /** Cores still alive under dead_core_mask. */
+    unsigned
+    activeCores() const
+    {
+        const uint64_t valid =
+            cores >= 64 ? ~uint64_t(0) : (uint64_t(1) << cores) - 1;
+        return cores - unsigned(std::popcount(dead_core_mask & valid));
+    }
+
+    /** MPE array rows still alive under dead_mpe_row_mask. */
+    unsigned
+    activeMpeRows() const
+    {
+        const unsigned rows = core.corelet.mpe_rows;
+        const uint64_t valid =
+            rows >= 64 ? ~uint64_t(0) : (uint64_t(1) << rows) - 1;
+        return rows -
+               unsigned(std::popcount(dead_mpe_row_mask & valid));
+    }
+
+    /** Fraction of MPE rows alive (1.0 on a healthy chip). */
+    double
+    mpeRowYield() const
+    {
+        return double(activeMpeRows()) / double(core.corelet.mpe_rows);
+    }
 
     /** Peak MAC ops/second of the chip at @p p (2 ops per MAC). */
     double
     peakOpsPerSecond(Precision p) const
     {
-        return 2.0 * cores * core.macsPerCycle(p) * ghz(core_freq_ghz);
+        return 2.0 * activeCores() * core.macsPerCycle(p) *
+               ghz(core_freq_ghz) * mpeRowYield();
     }
 
     /** Total ring bandwidth in bytes/second (both directions). */
@@ -148,6 +183,17 @@ struct SystemConfig
 
     double c2cBytesPerSecond() const { return chip_to_chip_gbps * kGiga; }
 };
+
+/**
+ * Throw rapid::Error (InvalidConfig) when @p chip is not runnable:
+ * zero counts, non-positive frequencies or bandwidths, or masks that
+ * kill every core or every MPE row. A partially-masked chip is valid —
+ * that is the graceful-degradation path.
+ */
+void validateChipConfig(const ChipConfig &chip);
+
+/** validateChipConfig plus the system-level knobs. */
+void validateSystemConfig(const SystemConfig &sys);
 
 /** The fabricated 4-core inference chip with 200 GB/s DDR. */
 ChipConfig makeInferenceChip(double freq_ghz = 1.5);

@@ -1,0 +1,50 @@
+#include "common/error.hh"
+
+#include <sstream>
+#include <utility>
+
+namespace rapid {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::InvalidArgument:
+        return "invalid argument";
+      case ErrorCode::InvalidConfig:
+        return "invalid configuration";
+    }
+    return "error";
+}
+
+namespace {
+
+std::string
+formatWhat(ErrorCode code, const char *file, int line,
+           const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << errorCodeName(code) << ": " << msg << " (" << file << ":"
+        << line << ")";
+    return oss.str();
+}
+
+} // namespace
+
+Error::Error(ErrorCode code, const char *file, int line, std::string msg)
+    : std::runtime_error(formatWhat(code, file, line, msg)),
+      code_(code), file_(file), line_(line), message_(std::move(msg))
+{
+}
+
+namespace detail {
+
+void
+throwError(ErrorCode code, const char *file, int line, std::string msg)
+{
+    throw Error(code, file, line, std::move(msg));
+}
+
+} // namespace detail
+
+} // namespace rapid

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Structured, always-on error reporting for the public API boundary.
+ *
+ * The rapid_assert family aborts the process, which is right for
+ * internal invariant violations but wrong for caller mistakes: a
+ * service embedding this library must be able to reject a bad request
+ * (bogus batch size, fully-masked chip, zero-width ring link) without
+ * dying, and a release build must reject it at all instead of
+ * silently computing garbage once NDEBUG strips the rapid_dasserts.
+ *
+ * RAPID_CHECK_ARG throws rapid::Error in every build configuration.
+ * Use it at the edges — session options, chip/ring configuration,
+ * workload shapes — and keep rapid_assert/rapid_dassert for internal
+ * invariants that indicate a bug in this library.
+ */
+
+#ifndef RAPID_COMMON_ERROR_HH
+#define RAPID_COMMON_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace rapid {
+
+/** Coarse classification of a boundary error. */
+enum class ErrorCode
+{
+    InvalidArgument, ///< a bad option/parameter value
+    InvalidConfig,   ///< an inconsistent hardware configuration
+};
+
+/** Name of an error code ("invalid argument", ...). */
+const char *errorCodeName(ErrorCode code);
+
+/**
+ * Exception thrown on invalid caller input. what() carries the full
+ * formatted message including the failed condition and origin.
+ */
+class Error : public std::runtime_error
+{
+  public:
+    Error(ErrorCode code, const char *file, int line, std::string msg);
+
+    ErrorCode code() const { return code_; }
+    const char *file() const { return file_; }
+    int line() const { return line_; }
+    /** The message without the file:line origin prefix. */
+    const std::string &message() const { return message_; }
+
+  private:
+    ErrorCode code_;
+    const char *file_;
+    int line_;
+    std::string message_;
+};
+
+namespace detail {
+
+[[noreturn]] void throwError(ErrorCode code, const char *file, int line,
+                             std::string msg);
+
+} // namespace detail
+
+} // namespace rapid
+
+/**
+ * Validate a public-API argument; throws rapid::Error
+ * (ErrorCode::InvalidArgument) in every build type when @p cond is
+ * false. The variadic tail is formatted into the message via
+ * operator<<.
+ */
+#define RAPID_CHECK_ARG(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::rapid::detail::throwError(                                    \
+                ::rapid::ErrorCode::InvalidArgument, __FILE__, __LINE__,    \
+                ::rapid::detail::formatMessage(                             \
+                    "check '" #cond "' failed: ", __VA_ARGS__));            \
+        }                                                                   \
+    } while (0)
+
+/** Like RAPID_CHECK_ARG but classified as a configuration error. */
+#define RAPID_CHECK_CONFIG(cond, ...)                                       \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::rapid::detail::throwError(                                    \
+                ::rapid::ErrorCode::InvalidConfig, __FILE__, __LINE__,      \
+                ::rapid::detail::formatMessage(                             \
+                    "check '" #cond "' failed: ", __VA_ARGS__));            \
+        }                                                                   \
+    } while (0)
+
+#endif // RAPID_COMMON_ERROR_HH

@@ -54,7 +54,9 @@ DataflowMapper::reductionCap(Precision p) const
     // MACs per lane per cycle: 1 (FP16), 2 (HFP8 sub-SIMD),
     // 8 (INT4 doubled engines), 16 (INT2).
     const double packing = mpe.macsPerCycle(p) / mpe.fpu_simd_lanes;
-    return int64_t(chip_.core.corelet.mpe_rows * packing);
+    // Degraded mode: dead MPE rows shorten the accumulation chain, so
+    // tiles shrink accordingly (activeMpeRows == mpe_rows healthy).
+    return int64_t(chip_.activeMpeRows() * packing);
 }
 
 int64_t
@@ -67,7 +69,9 @@ DataflowMapper::outputCap() const
 int
 DataflowMapper::workers() const
 {
-    return int(chip_.cores * chip_.core.corelets);
+    // Degraded mode: masked-dead cores contribute no corelets, so the
+    // mapper plans the split across the live cores only.
+    return int(chip_.activeCores() * chip_.core.corelets);
 }
 
 Mapping

@@ -1,0 +1,218 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+
+namespace rapid {
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::StorageWord:
+        return "storage";
+      case FaultSite::MacOutput:
+        return "mac";
+      case FaultSite::RingFlit:
+        return "flit";
+      case FaultSite::Scratchpad:
+        return "scratchpad";
+    }
+    return "?";
+}
+
+SiteProtection
+parityProtection(double retry_cost)
+{
+    SiteProtection p;
+    p.detect = 0.99; // per-word parity misses even-weight multi-flips
+    p.correct = 0.0;
+    p.retry_cost = retry_cost;
+    return p;
+}
+
+SiteProtection
+secdedProtection(double retry_cost)
+{
+    SiteProtection p;
+    p.detect = 1.0;   // SECDED flags every modeled upset
+    p.correct = 0.95; // single-bit (the common case) fixed in place
+    p.retry_cost = retry_cost;
+    return p;
+}
+
+FaultConfig
+FaultConfig::withRate(double rate, uint64_t seed)
+{
+    FaultConfig cfg;
+    cfg.rate = rate;
+    cfg.seed = seed;
+    return cfg;
+}
+
+void
+FaultConfig::protectAll(const SiteProtection &p)
+{
+    protection.fill(p);
+}
+
+void
+validateFaultConfig(const FaultConfig &cfg)
+{
+    RAPID_CHECK_ARG(std::isfinite(cfg.rate) && cfg.rate >= 0.0 &&
+                        cfg.rate <= 1.0,
+                    "FaultConfig.rate must be in [0, 1], got ",
+                    cfg.rate);
+    for (unsigned s = 0; s < kNumFaultSites; ++s) {
+        const SiteProtection &p = cfg.protection[s];
+        const char *name = faultSiteName(FaultSite(s));
+        RAPID_CHECK_ARG(std::isfinite(p.detect) && p.detect >= 0.0 &&
+                            p.detect <= 1.0,
+                        "protection.detect for site '", name,
+                        "' must be in [0, 1], got ", p.detect);
+        RAPID_CHECK_ARG(std::isfinite(p.correct) && p.correct >= 0.0 &&
+                            p.correct <= 1.0,
+                        "protection.correct for site '", name,
+                        "' must be in [0, 1], got ", p.correct);
+        RAPID_CHECK_ARG(std::isfinite(p.retry_cost) &&
+                            p.retry_cost >= 0.0,
+                        "protection.retry_cost for site '", name,
+                        "' must be finite and >= 0, got ",
+                        p.retry_cost);
+    }
+}
+
+FaultStats &
+FaultStats::operator+=(const FaultStats &o)
+{
+    sampled += o.sampled;
+    injected += o.injected;
+    detected += o.detected;
+    corrected += o.corrected;
+    retries += o.retries;
+    masked += o.masked;
+    sdc += o.sdc;
+    retry_cycles += o.retry_cycles;
+    return *this;
+}
+
+bool
+FaultStats::accountingConsistent() const
+{
+    return injected == detected + masked + sdc &&
+           detected == corrected + retries;
+}
+
+namespace {
+
+/** splitmix64 finalizer: the standard seed-mixing bijection. */
+uint64_t
+splitmix64(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+uint64_t
+mixSeed(uint64_t seed, uint64_t item)
+{
+    // Two mixing rounds decorrelate (seed, item) pairs: one
+    // splitmix64 step is already a bijection, the second breaks the
+    // simple additive relation between neighbouring items.
+    return splitmix64(splitmix64(seed) ^ item);
+}
+
+FaultInjector::FaultInjector(const FaultConfig &cfg) : cfg_(cfg)
+{
+    validateFaultConfig(cfg);
+}
+
+Rng
+FaultInjector::stream(FaultSite site, uint64_t item) const
+{
+    const uint64_t salted =
+        cfg_.seed ^ (uint64_t(site) + 1) * 0xd6e8feb86659fd93ULL;
+    return Rng(mixSeed(salted, item));
+}
+
+bool
+FaultInjector::eventDraw(Rng &rng) const
+{
+    return rng.uniform() < cfg_.rate;
+}
+
+uint32_t
+FaultInjector::corruptBits(Rng &rng, unsigned bits, uint32_t word,
+                           unsigned &flips) const
+{
+    rapid_dassert(bits >= 1 && bits <= 32, "bad storage width ", bits);
+    flips = 0;
+    for (unsigned b = 0; b < bits; ++b) {
+        if (rng.uniform() < cfg_.rate) {
+            word ^= 1u << b;
+            ++flips;
+        }
+    }
+    return word;
+}
+
+uint32_t
+FaultInjector::flipOneBit(Rng &rng, unsigned bits, uint32_t word) const
+{
+    rapid_dassert(bits >= 1 && bits <= 32, "bad storage width ", bits);
+    const unsigned b = unsigned(rng.uniformInt(0, int64_t(bits) - 1));
+    return word ^ (1u << b);
+}
+
+FaultOutcome
+FaultInjector::resolveProtection(FaultSite site, Rng &rng,
+                                 FaultStats &stats) const
+{
+    const SiteProtection &p = cfg_.protectionFor(site);
+    if (rng.uniform() < p.detect) {
+        ++stats.detected;
+        if (rng.uniform() < p.correct) {
+            ++stats.corrected;
+            return FaultOutcome::Corrected;
+        }
+        ++stats.retries;
+        stats.retry_cycles += p.retry_cost;
+        return FaultOutcome::Detected;
+    }
+    return FaultOutcome::Silent;
+}
+
+FaultOutcome
+FaultInjector::inject(FaultSite site, uint64_t item,
+                      FaultStats &stats) const
+{
+    if (!active(site))
+        return FaultOutcome::None;
+    ++stats.sampled;
+    Rng rng = stream(site, item);
+    if (!eventDraw(rng))
+        return FaultOutcome::None;
+    ++stats.injected;
+    return resolveProtection(site, rng, stats);
+}
+
+double
+expectedRetryCycles(const FaultConfig &cfg, FaultSite site,
+                    double events, double exposure)
+{
+    if (!cfg.enabled() || !cfg.site_enabled[unsigned(site)])
+        return 0.0;
+    const SiteProtection &p = cfg.protectionFor(site);
+    const double p_event = std::min(1.0, cfg.rate * exposure);
+    return events * p_event * p.detect * (1.0 - p.correct) *
+           p.retry_cost;
+}
+
+} // namespace rapid

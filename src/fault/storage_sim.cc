@@ -1,0 +1,185 @@
+#include "fault/storage_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/parallel.hh"
+#include "precision/float_format.hh"
+#include "precision/int_format.hh"
+
+namespace rapid {
+
+const char *
+storageFormatName(StorageFormat fmt)
+{
+    switch (fmt) {
+      case StorageFormat::DLFloat16:
+        return "DLFloat16";
+      case StorageFormat::Fp8E4M3:
+        return "FP8(1,4,3)";
+      case StorageFormat::Fp8E5M2:
+        return "FP8(1,5,2)";
+      case StorageFormat::Int4:
+        return "INT4";
+      case StorageFormat::Int2:
+        return "INT2";
+    }
+    return "?";
+}
+
+unsigned
+storageFormatBits(StorageFormat fmt)
+{
+    switch (fmt) {
+      case StorageFormat::DLFloat16:
+        return 16;
+      case StorageFormat::Fp8E4M3:
+      case StorageFormat::Fp8E5M2:
+        return 8;
+      case StorageFormat::Int4:
+        return 4;
+      case StorageFormat::Int2:
+        return 2;
+    }
+    return 0;
+}
+
+namespace {
+
+/** Codec facade over the float and fixed-point formats. */
+struct Codec
+{
+    const FloatFormat *flt = nullptr;
+    const IntFormat *fix = nullptr;
+    FloatFormat fp8_fwd = fp8e4m3();
+    float scale = 1.0f;
+    unsigned bits = 0;
+
+    explicit Codec(StorageFormat fmt, double clip)
+    {
+        bits = storageFormatBits(fmt);
+        switch (fmt) {
+          case StorageFormat::DLFloat16:
+            flt = &dlfloat16();
+            break;
+          case StorageFormat::Fp8E4M3:
+            flt = &fp8_fwd;
+            break;
+          case StorageFormat::Fp8E5M2:
+            flt = &fp8e5m2();
+            break;
+          case StorageFormat::Int4:
+            fix = &int4();
+            break;
+          case StorageFormat::Int2:
+            fix = &int2();
+            break;
+        }
+        if (fix)
+            scale = float(clip / fix->maxLevel());
+    }
+
+    uint32_t
+    encode(float value) const
+    {
+        if (flt)
+            return flt->encode(value);
+        const int level = fix->quantizeLevel(value, scale);
+        return uint32_t(level) & ((1u << bits) - 1u);
+    }
+
+    float
+    decode(uint32_t word) const
+    {
+        if (flt)
+            return flt->decode(word);
+        // Sign-extend the stored two's-complement field; corrupted
+        // encodings may land on the unused most-negative level, which
+        // the datapath would still interpret arithmetically.
+        const int level =
+            int(int32_t(word << (32u - bits)) >> (32u - bits));
+        return fix->dequantize(level, scale);
+    }
+};
+
+/** Per-word outcome, reduced serially in word order. */
+struct WordOutcome
+{
+    FaultStats stats;
+    uint64_t catastrophic = 0;
+    double abs_error = 0; ///< finite silent error, else 0
+};
+
+} // namespace
+
+StorageResult
+runStorageExperiment(const StorageExperiment &exp,
+                     const FaultInjector &injector)
+{
+    RAPID_CHECK_ARG(exp.words > 0, "storage experiment needs words");
+    RAPID_CHECK_ARG(std::isfinite(exp.clip) && exp.clip > 0.0,
+                    "storage experiment clip must be positive, got ",
+                    exp.clip);
+    RAPID_CHECK_ARG(exp.benign_fraction >= 0.0 &&
+                        exp.benign_fraction <= 1.0,
+                    "benign_fraction must be in [0, 1], got ",
+                    exp.benign_fraction);
+
+    const Codec codec(exp.format, exp.clip);
+    const float clip = float(exp.clip);
+    const double benign = exp.benign_fraction * exp.clip;
+
+    const std::vector<WordOutcome> outcomes =
+        parallelMap(exp.words, [&](size_t i) {
+            WordOutcome out;
+            out.stats.sampled = 1;
+
+            // Operand value: Laplace-distributed like trained DNN
+            // weights, clipped to the quantization range.
+            Rng data(mixSeed(exp.data_seed, i));
+            const float value = std::clamp(
+                float(data.laplace(1.0)), -clip, clip);
+            const uint32_t word = codec.encode(value);
+            const float clean = codec.decode(word);
+
+            if (!injector.active(FaultSite::StorageWord))
+                return out;
+            Rng rng = injector.stream(FaultSite::StorageWord, i);
+            unsigned flips = 0;
+            const uint32_t bad_word =
+                injector.corruptBits(rng, codec.bits, word, flips);
+            if (flips == 0)
+                return out;
+            out.stats.injected = 1;
+            const FaultOutcome res = injector.resolveProtection(
+                FaultSite::StorageWord, rng, out.stats);
+            if (res != FaultOutcome::Silent)
+                return out; // restored (corrected or retried)
+
+            const float bad = codec.decode(bad_word);
+            const double err = std::abs(double(bad) - double(clean));
+            if (err <= benign) {
+                ++out.stats.masked;
+                return out;
+            }
+            ++out.stats.sdc;
+            if (!std::isfinite(err) || err > exp.clip)
+                ++out.catastrophic;
+            if (std::isfinite(err))
+                out.abs_error = err;
+            return out;
+        });
+
+    StorageResult result;
+    for (const WordOutcome &out : outcomes) {
+        result.stats += out.stats;
+        result.catastrophic += out.catastrophic;
+        result.sum_abs_error += out.abs_error;
+        result.max_abs_error =
+            std::max(result.max_abs_error, out.abs_error);
+    }
+    return result;
+}
+
+} // namespace rapid

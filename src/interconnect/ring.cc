@@ -2,11 +2,22 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
+
 namespace rapid {
+
+void
+validateRingConfig(const RingConfig &cfg)
+{
+    RAPID_CHECK_CONFIG(cfg.num_nodes >= 2,
+                       "ring needs >= 2 nodes, got ", cfg.num_nodes);
+    RAPID_CHECK_CONFIG(cfg.bytes_per_flit >= 1,
+                       "ring link width must be >= 1 byte per flit");
+}
 
 RingNetwork::RingNetwork(const RingConfig &cfg) : cfg_(cfg)
 {
-    rapid_assert(cfg.num_nodes >= 2, "ring needs >= 2 nodes");
+    validateRingConfig(cfg);
     cw_.pipes.resize(cfg.num_nodes);
     ccw_.pipes.resize(cfg.num_nodes);
 }
@@ -97,6 +108,20 @@ RingNetwork::stepDirection(DirState &st, RingDir dir)
     for (size_t i = 0; i < moved.size(); ++i) {
         Flit f = moved[i];
         const unsigned node = from[i];
+        if (injector_ && injector_->active(FaultSite::RingFlit)) {
+            const FaultOutcome hit = injector_->inject(
+                FaultSite::RingFlit, fault_items_++, fault_stats_);
+            if (hit == FaultOutcome::Detected) {
+                // Link-level retry: the hop is squashed and the flit
+                // retransmits from the same node next cycle.
+                st.pipes[node].push_front(f);
+                continue;
+            }
+            if (hit == FaultOutcome::Silent) {
+                ++fault_stats_.sdc;
+                messages_[f.msg_id].corrupted = true;
+            }
+        }
         const unsigned next = (dir == RingDir::Clockwise)
                                   ? (node + 1) % n
                                   : (node + n - 1) % n;

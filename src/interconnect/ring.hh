@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 
 namespace rapid {
 
@@ -26,6 +27,12 @@ struct RingConfig
     unsigned num_nodes = 5;        ///< cores + memory interface node
     unsigned bytes_per_flit = 128; ///< link width per cycle
 };
+
+/**
+ * Throw rapid::Error (InvalidConfig) on a degenerate ring: fewer than
+ * two nodes or a zero-width link.
+ */
+void validateRingConfig(const RingConfig &cfg);
 
 /** Direction of travel on the ring. */
 enum class RingDir
@@ -45,6 +52,9 @@ struct RingMessage
     uint64_t issue_cycle = 0;    ///< when handed to the ring
     uint64_t complete_cycle = 0; ///< when the last dst got the tail
     bool delivered = false;
+    /// A flit of this message took an undetected hit in transit; the
+    /// payload the destinations received is silently corrupt.
+    bool corrupted = false;
 };
 
 /**
@@ -82,6 +92,21 @@ class RingNetwork
 
     /** Total flit-hops moved (traffic measure for multicast tests). */
     uint64_t flitHopsMoved() const { return flit_hops_; }
+
+    /**
+     * Attach a fault injector (RingFlit site); pass nullptr to detach.
+     * Non-owning — the injector must outlive the network. Each flit
+     * hop is one injection item; a detected fault squashes the hop and
+     * retransmits the flit next cycle (link-level retry), while an
+     * undetected fault marks the message corrupted.
+     */
+    void setFaultInjector(const FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /** Fault campaign counters accumulated so far. */
+    const FaultStats &faultStats() const { return fault_stats_; }
 
     /** Choose the direction minimizing the furthest hop distance. */
     RingDir chooseDirection(unsigned src,
@@ -121,6 +146,9 @@ class RingNetwork
     RingConfig cfg_;
     uint64_t cycle_ = 0;
     uint64_t flit_hops_ = 0;
+    const FaultInjector *injector_ = nullptr;
+    uint64_t fault_items_ = 0; ///< monotone per-hop injection index
+    FaultStats fault_stats_;
     std::vector<RingMessage> messages_;
     std::vector<unsigned> pending_tails_; ///< per message
     std::vector<InFlight> inflight_;

@@ -17,18 +17,22 @@ CycleBreakdown::operator+=(const CycleBreakdown &o)
     overhead += o.overhead;
     quantization += o.quantization;
     aux += o.aux;
+    retry += o.retry;
     mem_stall += o.mem_stall;
     return *this;
 }
 
-PerfModel::PerfModel(const ChipConfig &chip) : chip_(chip), mapper_(chip)
+PerfModel::PerfModel(const ChipConfig &chip, const FaultConfig &fault)
+    : chip_(chip), fault_(fault), mapper_(chip)
 {
+    validateChipConfig(chip);
+    validateFaultConfig(fault);
 }
 
 double
 PerfModel::sfuElementsPerCycle() const
 {
-    return chip_.cores * chip_.core.sfuLanes();
+    return chip_.activeCores() * chip_.core.sfuLanes();
 }
 
 double
@@ -44,8 +48,9 @@ PerfModel::sfuCycles(double elems, double ops_per_elem) const
     constexpr double kSfuL1Share = 0.75;
     const double bytes_per_elem = 2.0 * operandBytes(Precision::FP16);
     const double bw_elems_per_cycle =
-        double(chip_.cores) * chip_.core.corelets * kSfuL1Share *
-        chip_.core.l1_bw_bytes_per_cycle / bytes_per_elem;
+        double(chip_.activeCores()) * chip_.core.corelets *
+        kSfuL1Share * chip_.core.l1_bw_bytes_per_cycle /
+        bytes_per_elem;
     const double bw_cycles = elems / bw_elems_per_cycle;
     return std::max(lane_cycles, bw_cycles);
 }
@@ -60,8 +65,8 @@ PerfModel::weightsFitOnChip(const Network &net,
     for (size_t i = 0; i < net.layers.size(); ++i)
         bytes += double(net.layers[i].weightElems()) *
                  operandBytes(plan.at(i).precision);
-    const double l1_total = double(chip_.cores) * chip_.core.l1_kib *
-                            1024.0;
+    const double l1_total = double(chip_.activeCores()) *
+                            chip_.core.l1_kib * 1024.0;
     // Batch-1 activations are small; 10% of L1 suffices for their
     // double buffering, the rest can pin weights.
     return bytes <= 0.9 * l1_total;
@@ -78,15 +83,15 @@ PerfModel::evaluateLayer(const Layer &layer, const LayerPlan &plan,
 
     const double freq = ghz(chip_.core_freq_ghz);
     const double mem_bytes_per_cycle = chip_.memBytesPerSecond() / freq;
-    const double l1_total = double(chip_.cores) * chip_.core.l1_kib *
-                            1024.0;
+    const double l1_total = double(chip_.activeCores()) *
+                            chip_.core.l1_kib * 1024.0;
 
     // Per-layer launch cost: program dispatch, pipeline warm-up, and
     // token-sync barriers whose cost grows with the number of
     // participating corelets. This is what saturates many-core
     // scaling for networks made of many tiny layers (Figure 18(a)).
     const double launch_cycles =
-        100.0 + 8.0 * chip_.cores * chip_.core.corelets;
+        100.0 + 8.0 * chip_.activeCores() * chip_.core.corelets;
 
     if (layer.type == LayerType::Aux) {
         const double elems =
@@ -150,6 +155,33 @@ PerfModel::evaluateLayer(const Layer &layer, const LayerPlan &plan,
     if (in_bytes + out_bytes > 0.5 * l1_total)
         traffic += in_bytes + out_bytes;
     perf.mem_bytes = traffic;
+
+    // --- Fault retries (zero when the fault rate is zero) ---
+    // Expected replay cycles of detected-but-uncorrected faults,
+    // charged per site before memory stalls so retries also hide (or
+    // expose) DRAM time like any other busy cycles. Exposure proxies:
+    // every stored operand word of the layer (storage), every MAC
+    // (mac output), every ring flit and every staged scratchpad block
+    // of the layer's DRAM traffic.
+    if (fault_.enabled()) {
+        const double words =
+            double(layer.weightElems()) +
+            (double(layer.inputElemsPerSample()) +
+             layer.outputElemsPerSample()) * batch;
+        const double flits = traffic / chip_.ring_bw_bytes_per_cycle;
+        const double blocks =
+            traffic / (16.0 * chip_.ring_bw_bytes_per_cycle);
+        perf.cycles.retry =
+            expectedRetryCycles(fault_, FaultSite::StorageWord, words,
+                                double(operandBits(p))) +
+            expectedRetryCycles(fault_, FaultSite::MacOutput,
+                                perf.macs, 1.0) +
+            expectedRetryCycles(fault_, FaultSite::RingFlit, flits,
+                                1.0) +
+            expectedRetryCycles(fault_, FaultSite::Scratchpad, blocks,
+                                1.0);
+    }
+
     const double mem_cycles = traffic / mem_bytes_per_cycle;
     perf.cycles.mem_stall =
         std::max(0.0, mem_cycles - perf.cycles.busy());
@@ -211,9 +243,10 @@ TrainingPerfModel::evaluate(const Network &net, Precision precision,
     // cycles are those of a single core at the per-core batch. Cores
     // run concurrently; weight tiles are multicast from HBM.
     const int64_t batch_local = std::max<int64_t>(
-        1, chip_batch / sys_.chip.cores);
+        1, chip_batch / sys_.chip.activeCores());
     ChipConfig one_core = sys_.chip;
     one_core.cores = 1;
+    one_core.dead_core_mask = 0; // modelling one healthy core
     PerfModel chip_model(one_core);
     const double freq = ghz(sys_.chip.core_freq_ghz);
     const double mem_bytes_per_cycle =

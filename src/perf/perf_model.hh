@@ -16,6 +16,7 @@
 
 #include "arch/config.hh"
 #include "compiler/dataflow.hh"
+#include "fault/fault.hh"
 #include "perf/plan.hh"
 #include "workloads/layer.hh"
 
@@ -28,12 +29,13 @@ struct CycleBreakdown
     double overhead = 0;   ///< residue underuse, block-loads, imbalance
     double quantization = 0; ///< FP16 <-> INT conversions on the SFU
     double aux = 0;        ///< activation/norm/pool/shuffle on the SFU
+    double retry = 0;      ///< replays of detected-uncorrected faults
     double mem_stall = 0;  ///< cycles exposed by DRAM bandwidth
 
     double
     busy() const
     {
-        return conv_gemm + overhead + quantization + aux;
+        return conv_gemm + overhead + quantization + aux + retry;
     }
 
     double total() const { return busy() + mem_stall; }
@@ -79,9 +81,17 @@ struct NetworkPerf
 class PerfModel
 {
   public:
-    explicit PerfModel(const ChipConfig &chip);
+    /**
+     * @param chip Hardware description (dead-unit masks derate it).
+     * @param fault Optional fault scenario: detected-but-uncorrected
+     *        faults charge expected retry cycles into every layer's
+     *        breakdown. The default (rate 0) charges nothing.
+     */
+    explicit PerfModel(const ChipConfig &chip,
+                       const FaultConfig &fault = FaultConfig{});
 
     const ChipConfig &chip() const { return chip_; }
+    const FaultConfig &faultConfig() const { return fault_; }
 
     /**
      * Evaluate inference of @p net under @p plan at @p batch.
@@ -111,6 +121,7 @@ class PerfModel
 
   private:
     ChipConfig chip_;
+    FaultConfig fault_;
     DataflowMapper mapper_;
 };
 

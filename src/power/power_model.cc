@@ -41,10 +41,13 @@ PowerModel::layerPower(const LayerPerf &layer_perf,
         return si_.leakagePower(freq_ghz_) + baseCoeff() * vvf;
 
     // MPE activity: the ideal streaming cycles are the fraction of
-    // time the MAC arrays toggle at full rate; overhead cycles keep
-    // roughly half the datapath busy (operand movement, block loads).
-    const double act_mpe = (layer_perf.cycles.conv_gemm +
-                            0.5 * layer_perf.cycles.overhead) / total;
+    // time the MAC arrays toggle at full rate; overhead and fault
+    // retry cycles keep roughly half the datapath busy (operand
+    // movement, block loads, replayed tiles).
+    const double act_mpe =
+        (layer_perf.cycles.conv_gemm +
+         0.5 * (layer_perf.cycles.overhead + layer_perf.cycles.retry)) /
+        total;
     const double act_sfu =
         (layer_perf.cycles.quantization + layer_perf.cycles.aux) /
         total;
@@ -87,7 +90,8 @@ PowerModel::evaluate(const NetworkPerf &perf, const Network &net) const
         if (t <= 0)
             continue;
         const double act_mpe = total > 0
-            ? (lp.cycles.conv_gemm + 0.5 * lp.cycles.overhead) / total
+            ? (lp.cycles.conv_gemm +
+               0.5 * (lp.cycles.overhead + lp.cycles.retry)) / total
             : 0.0;
         const double act_sfu = total > 0
             ? std::min(1.0, (lp.cycles.quantization + lp.cycles.aux) /

@@ -1,13 +1,42 @@
 #include "runtime/session.hh"
 
+#include <cmath>
+
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 
 namespace rapid {
 
+void
+validateInferenceOptions(const InferenceOptions &opts)
+{
+    RAPID_CHECK_ARG(opts.batch >= 1,
+                    "inference batch must be >= 1, got ", opts.batch);
+    RAPID_CHECK_ARG(std::isfinite(opts.power_report_freq_ghz) &&
+                        opts.power_report_freq_ghz >= 0.0,
+                    "power_report_freq_ghz must be 0 (chip default) "
+                    "or a positive frequency, got ",
+                    opts.power_report_freq_ghz);
+    validateFaultConfig(opts.fault);
+}
+
+void
+validateTrainingOptions(const TrainingOptions &opts)
+{
+    RAPID_CHECK_ARG(opts.minibatch >= 1,
+                    "training minibatch must be >= 1, got ",
+                    opts.minibatch);
+    RAPID_CHECK_ARG(opts.precision == Precision::FP16 ||
+                        opts.precision == Precision::HFP8,
+                    "training supports FP16/HFP8 only, got ",
+                    precisionName(opts.precision));
+}
+
 InferenceSession::InferenceSession(const ChipConfig &chip, Network net)
     : chip_(chip), net_(std::move(net))
 {
+    validateChipConfig(chip);
 }
 
 ExecutionPlan
@@ -27,6 +56,7 @@ InferenceSession::compile(const InferenceOptions &opts) const
 InferenceResult
 InferenceSession::run(const InferenceOptions &opts) const
 {
+    validateInferenceOptions(opts);
     if (opts.threads > 0)
         ThreadPool::setDefaultThreads(opts.threads);
     InferenceResult result;
@@ -34,7 +64,7 @@ InferenceSession::run(const InferenceOptions &opts) const
     rapid_dassert(result.plan.layers.size() == net_.layers.size(),
                   "execution plan covers ", result.plan.layers.size(),
                   " of ", net_.layers.size(), " layers");
-    PerfModel perf(chip_);
+    PerfModel perf(chip_, opts.fault);
     result.perf = perf.evaluate(net_, result.plan, opts.batch);
     rapid_dassert(result.perf.total_seconds > 0.0,
                   "non-positive inference time");
@@ -46,11 +76,13 @@ InferenceSession::run(const InferenceOptions &opts) const
 TrainingSession::TrainingSession(const SystemConfig &sys, Network net)
     : sys_(sys), net_(std::move(net))
 {
+    validateSystemConfig(sys);
 }
 
 TrainingPerf
 TrainingSession::run(const TrainingOptions &opts) const
 {
+    validateTrainingOptions(opts);
     if (opts.threads > 0)
         ThreadPool::setDefaultThreads(opts.threads);
     TrainingPerfModel model(sys_);

@@ -22,6 +22,7 @@
 
 #include "arch/config.hh"
 #include "compiler/precision_assign.hh"
+#include "fault/fault.hh"
 #include "perf/perf_model.hh"
 #include "power/power_model.hh"
 #include "power/throttle.hh"
@@ -45,7 +46,18 @@ struct InferenceOptions
     /// (RAPID_THREADS env, else hardware concurrency). Results are
     /// bit-identical at any thread count.
     unsigned threads = 0;
+    /// Fault scenario: detected-but-uncorrected faults charge retry
+    /// cycles into the reported performance and power. The default
+    /// (rate 0) is exactly the fault-free model.
+    FaultConfig fault;
 };
+
+/**
+ * Throw rapid::Error (InvalidArgument) on out-of-range inference
+ * options (non-positive batch, negative or non-finite report
+ * frequency, bad fault knobs). Runs in every build type.
+ */
+void validateInferenceOptions(const InferenceOptions &opts);
 
 /** Everything an inference run produces. */
 struct InferenceResult
@@ -83,6 +95,13 @@ struct TrainingOptions
     /// Evaluation threads; see InferenceOptions::threads.
     unsigned threads = 0;
 };
+
+/**
+ * Throw rapid::Error (InvalidArgument) on out-of-range training
+ * options (non-positive minibatch, a precision the training datapath
+ * does not support). Runs in every build type.
+ */
+void validateTrainingOptions(const TrainingOptions &opts);
 
 /** Session for a multi-chip training system. */
 class TrainingSession

@@ -125,10 +125,23 @@ CoreletSim::run(const LayerProgram &prog)
     // back through the L1 port, posting each block's ready token the
     // cycle its tail lands. It naturally runs ahead of the processor.
     Tick seq_time = 0;
+    uint64_t fault_item = 0;
     for (const auto &tr : prog.transfers) {
-        Tick cycles = Tick((double(tr.bytes) + l1BytesPerCycle_ - 1) /
-                           l1BytesPerCycle_);
-        seq_time += std::max<Tick>(1, cycles);
+        const Tick cycles = std::max<Tick>(
+            1, Tick((double(tr.bytes) + l1BytesPerCycle_ - 1) /
+                    l1BytesPerCycle_));
+        seq_time += cycles;
+        if (injector_ && injector_->active(FaultSite::Scratchpad)) {
+            // One injection item per staged block. A detected fault
+            // re-streams the block before its token posts; an
+            // undetected one silently stages corrupt data.
+            const FaultOutcome hit = injector_->inject(
+                FaultSite::Scratchpad, fault_item++, st.stats.faults);
+            if (hit == FaultOutcome::Detected)
+                seq_time += cycles;
+            else if (hit == FaultOutcome::Silent)
+                ++st.stats.faults.sdc;
+        }
         const unsigned token = tr.ready_token;
         st.eq.schedule(seq_time, [&st, token] {
             st.tokens.post(token);

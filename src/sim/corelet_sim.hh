@@ -18,6 +18,7 @@
 #define RAPID_SIM_CORELET_SIM_HH
 
 #include "compiler/codegen.hh"
+#include "fault/fault.hh"
 #include "sim/event_queue.hh"
 
 namespace rapid {
@@ -31,6 +32,7 @@ struct CoreletRunStats
     Tick stall_cycles = 0;     ///< processor cycles blocked on tokens
     uint64_t fmma_issued = 0;
     uint64_t tiles_loaded = 0;
+    FaultStats faults;         ///< Scratchpad-site injection outcome
 
     /** Fraction of fetch time hidden under compute. */
     double
@@ -57,9 +59,21 @@ class CoreletSim
     /** Simulate @p prog to completion and return the timeline. */
     CoreletRunStats run(const LayerProgram &prog);
 
+    /**
+     * Attach a fault injector (Scratchpad site); nullptr detaches.
+     * Non-owning. Each staged transfer is one injection item: a
+     * detected fault re-streams the block through the L1 port before
+     * its token posts, an undetected one stages a corrupt block (SDC).
+     */
+    void setFaultInjector(const FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
   private:
     double l1BytesPerCycle_;
     Tick lrfLoadCycles_;
+    const FaultInjector *injector_ = nullptr;
 };
 
 } // namespace rapid

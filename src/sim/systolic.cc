@@ -1,6 +1,7 @@
 #include "sim/systolic.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
@@ -80,6 +81,7 @@ SystolicArraySim::gemm(const Tensor &a, const Tensor &b, Fp8Kind a_kind,
     const int64_t pipe_fill = corelet_.mpe_rows + 3; // skew + adder
 
     MpeDatapath dp(fwdBias_);
+    uint64_t fault_item = 0;
     SystolicResult res;
     res.c = Tensor({m, n});
     res.program = buildTileProgram(m);
@@ -124,14 +126,51 @@ SystolicArraySim::gemm(const Tensor &a, const Tensor &b, Fp8Kind a_kind,
                                 acc);
                         }
                     }
+                    // Fault site: the accumulator value leaving the
+                    // array south. One injection item per output per
+                    // tile pass, indexed by a monotone counter so the
+                    // fault pattern only depends on the config seed.
+                    if (injector_ &&
+                        injector_->active(FaultSite::MacOutput)) {
+                        acc = injectMacFault(acc, fault_item++,
+                                             res.faults);
+                    }
                     res.c.at(mi, ni) = acc;
                 }
             }
         }
     }
+    // Detected-but-uncorrected faults re-issue their tile pass; the
+    // replay cost lands on the cycle count (zero when fault-free).
+    res.cycles += uint64_t(std::llround(res.faults.retry_cycles));
     res.fmas = dp.fmaCount();
     res.zero_gated = dp.zeroGatedCount();
     return res;
+}
+
+float
+SystolicArraySim::injectMacFault(float acc, uint64_t item,
+                                 FaultStats &stats) const
+{
+    ++stats.sampled;
+    Rng rng = injector_->stream(FaultSite::MacOutput, item);
+    if (!injector_->eventDraw(rng))
+        return acc;
+    ++stats.injected;
+    const FaultOutcome hit = injector_->resolveProtection(
+        FaultSite::MacOutput, rng, stats);
+    if (hit != FaultOutcome::Silent)
+        return acc; // restored: corrected in place or tile re-issued
+    const uint32_t word = dlfloat16().encode(acc);
+    const float clean = dlfloat16().decode(word);
+    const float bad = dlfloat16().decode(
+        injector_->flipOneBit(rng, dlfloat16().storageBits(), word));
+    if (bad == clean) {
+        ++stats.masked; // e.g. a sign flip on zero
+        return acc;
+    }
+    ++stats.sdc;
+    return bad;
 }
 
 } // namespace rapid

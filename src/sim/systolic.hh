@@ -23,6 +23,7 @@
 
 #include "arch/config.hh"
 #include "arch/isa.hh"
+#include "fault/fault.hh"
 #include "tensor/tensor.hh"
 
 namespace rapid {
@@ -35,6 +36,7 @@ struct SystolicResult
     uint64_t block_load_cycles = 0;
     uint64_t fmas = 0;     ///< FMA slots issued
     uint64_t zero_gated = 0;
+    FaultStats faults;     ///< MacOutput-site injection outcome
     std::vector<MpeInstruction> program; ///< the executed inner loop
 };
 
@@ -72,10 +74,27 @@ class SystolicArraySim
     std::vector<MpeInstruction> buildTileProgram(int64_t stream_len)
         const;
 
+    /**
+     * Attach a fault injector (MacOutput site); nullptr detaches.
+     * Non-owning. Each accumulator value leaving the array south is
+     * one injection item: a detected fault re-issues the value's tile
+     * pass (retry cycles added to the result), an undetected one
+     * flips a bit of the DLFloat16 output encoding.
+     */
+    void setFaultInjector(const FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
   private:
+    /** Resolve one MacOutput injection item against @p acc. */
+    float injectMacFault(float acc, uint64_t item,
+                         FaultStats &stats) const;
+
     CoreletConfig corelet_;
     Precision precision_;
     int fwdBias_;
+    const FaultInjector *injector_ = nullptr;
 };
 
 } // namespace rapid

@@ -1,0 +1,13 @@
+// Fixture: nondeterministic randomness must be rejected — fault
+// injection and sweeps replay bit-identically only when every draw
+// derives from a fixed seed through rapid::Rng (common/random.hh).
+#include <cstdint>
+#include <random>
+
+uint64_t
+drawFaultSeed()
+{
+    std::random_device rd;
+    std::mt19937_64 engine(rd());
+    return engine();
+}

@@ -12,6 +12,10 @@ Checks
   no-raw-thread   no std::thread/std::jthread/pthread_create/.detach()
                   outside src/common/parallel.*; all parallelism goes
                   through the deterministic rapid::ThreadPool
+  no-unseeded-rng no std::random_device anywhere, and no raw <random>
+                  engines outside src/common/random.*; all randomness
+                  (fault injection especially) derives from fixed
+                  seeds through rapid::Rng so runs are reproducible
 
 A finding on a given line can be waived with a trailing comment:
     // rapid-lint: allow(<check-name>)
@@ -53,6 +57,15 @@ THREAD_RE = re.compile(
 
 # The one place allowed to own raw threads: the deterministic pool.
 THREAD_ALLOWED = ("src/common/parallel.",)
+
+RANDOM_DEVICE_RE = re.compile(r"std::random_device\b")
+RNG_ENGINE_RE = re.compile(
+    r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine"
+    r"|ranlux\d+(?:_base)?|knuth_b|subtract_with_carry_engine"
+    r"|linear_congruential_engine|mersenne_twister_engine)\b")
+
+# The one place allowed to own a raw RNG engine: the seeded Rng.
+RNG_ALLOWED = ("src/common/random.",)
 
 
 def strip_noise(line):
@@ -144,6 +157,15 @@ class Linter:
                         "src/common/parallel.*; use rapid::parallelFor "
                         "or rapid::ThreadPool so sweeps stay "
                         "deterministic")
+        if ("no-unseeded-rng" not in allowed
+                and (RANDOM_DEVICE_RE.search(line)
+                     or (not posix.startswith(RNG_ALLOWED)
+                         and RNG_ENGINE_RE.search(line)))):
+            self.report(posix, lineno, "no-unseeded-rng",
+                        "unseeded or raw randomness; derive a seeded "
+                        "rapid::Rng via common/random.hh (mixSeed for "
+                        "per-item streams) so fault injection and "
+                        "sweeps replay bit-identically")
         if ("float-eq" not in allowed and posix.startswith("src/precision/")
                 and FLOAT_EQ_RE.search(line)):
             self.report(posix, lineno, "float-eq",
