@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Assemble the serving-sweep results into BENCH_serve.json.
+
+serve_sweep appends one JSON record per ramp point to the file named
+by RAPID_SERVE_JSON ({"section": ..., "policy": ..., "offered_rps":
+..., "goodput_rps": ..., ...}). This script merges those lines —
+keeping the last record per (section, policy, offered load) so reruns
+overwrite stale points — groups them by section, locates the goodput
+knee of each ramp policy (the highest offered load still served with
+under 5% shed), writes the grouped records to BENCH_serve.json, and
+prints a per-policy knee summary.
+
+Usage: assemble_serve.py <raw-jsonl> [<output-json>]
+"""
+
+import json
+import sys
+
+# A ramp point past the knee sheds more than this fraction of load.
+KNEE_SHED_FRACTION = 0.05
+
+
+def load_records(path):
+    records = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"{path}:{line_no}: bad serve record: {exc}"
+                )
+            key = (rec["section"], rec["policy"],
+                   float(rec["offered_rps"]))
+            records[key] = rec
+    return [records[k] for k in sorted(records)]
+
+
+def shed_fraction(rec):
+    offered = float(rec["offered"])
+    return float(rec["shed"]) / offered if offered > 0 else 0.0
+
+
+def knee_summary(records):
+    """Highest offered load with shed below the knee threshold, per
+    (ramp section, policy)."""
+    knees = {}
+    for rec in records:
+        if not rec["section"].startswith("ramp_"):
+            continue
+        key = (rec["section"], rec["policy"])
+        if shed_fraction(rec) <= KNEE_SHED_FRACTION:
+            offered = float(rec["offered_rps"])
+            if offered > knees.get(key, (0.0, None))[0]:
+                knees[key] = (offered, float(rec["goodput_rps"]))
+        else:
+            knees.setdefault(key, (0.0, None))
+    return knees
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    raw_path = argv[1]
+    out_path = argv[2] if len(argv) == 3 else "BENCH_serve.json"
+
+    records = load_records(raw_path)
+    if not records:
+        raise SystemExit(f"{raw_path}: no serve records found")
+
+    sections = {}
+    for rec in records:
+        sections.setdefault(rec["section"], []).append(rec)
+
+    knees = knee_summary(records)
+    out = {
+        "sections": sections,
+        "knees": [
+            {
+                "section": section,
+                "policy": policy,
+                "knee_offered_rps": offered,
+                "knee_goodput_rps": goodput,
+            }
+            for (section, policy), (offered, goodput)
+            in sorted(knees.items())
+        ],
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(out, fh, indent=2)
+        fh.write("\n")
+
+    width = max(len(f"{s}/{p}") for s, p in knees) + 2 if knees else 10
+    print(f"{'ramp/policy':<{width}}{'knee offered/s':>16}"
+          f"{'goodput/s':>12}")
+    for (section, policy), (offered, goodput) in sorted(knees.items()):
+        goodput_s = f"{goodput:.0f}" if goodput is not None else "-"
+        print(f"{section + '/' + policy:<{width}}"
+              f"{offered:>16.0f}{goodput_s:>12}")
+    print(f"\nwrote {out_path} ({len(records)} records, "
+          f"{len(sections)} sections)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

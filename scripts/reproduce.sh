@@ -25,8 +25,11 @@ ctest --test-dir build 2>&1 | tee test_output.txt || fail "ctest"
 
 # Figure sweeps: every driver appends its wall-clock record to the
 # sweep log, which assemble_sweeps.py merges into BENCH_sweeps.json.
+# serve_sweep additionally appends per-ramp-point serving records,
+# which assemble_serve.py merges into BENCH_serve.json.
 export RAPID_SWEEP_JSON="$PWD/build/sweeps_raw.jsonl"
-rm -f "$RAPID_SWEEP_JSON"
+export RAPID_SERVE_JSON="$PWD/build/serve_raw.jsonl"
+rm -f "$RAPID_SWEEP_JSON" "$RAPID_SERVE_JSON"
 (for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
     echo "===== $b"
@@ -37,7 +40,7 @@ rm -f "$RAPID_SWEEP_JSON"
 # Single-thread baselines for the heavier sweeps so the timing report
 # can show the parallel speedup.
 for fig in fig13_inference_latency fig14_inference_efficiency \
-           fig15_training_throughput fault_sweep; do
+           fig15_training_throughput fault_sweep serve_sweep; do
     build/bench/"$fig" --threads 1 > /dev/null || fail "$fig baseline"
 done
 
@@ -45,6 +48,11 @@ echo
 echo "===== per-figure sweep timing"
 python3 scripts/assemble_sweeps.py "$RAPID_SWEEP_JSON" \
     BENCH_sweeps.json || fail "sweep timing report"
+
+echo
+echo "===== serving goodput knees"
+python3 scripts/assemble_serve.py "$RAPID_SERVE_JSON" \
+    BENCH_serve.json || fail "serve report"
 
 (for e in build/examples/*; do
     [ -x "$e" ] && [ -f "$e" ] || continue

@@ -63,6 +63,24 @@ makeInferenceChip(double freq_ghz)
 }
 
 ChipConfig
+makeDegradedInferenceChip(unsigned dead_cores, unsigned dead_mpe_rows,
+                          double freq_ghz)
+{
+    ChipConfig chip = makeInferenceChip(freq_ghz);
+    RAPID_CHECK_CONFIG(dead_cores < chip.cores,
+                       "a degraded chip must keep at least one of ",
+                       chip.cores, " cores, asked to kill ",
+                       dead_cores);
+    RAPID_CHECK_CONFIG(dead_mpe_rows < chip.core.corelet.mpe_rows,
+                       "a degraded chip must keep at least one of ",
+                       chip.core.corelet.mpe_rows,
+                       " MPE rows, asked to kill ", dead_mpe_rows);
+    chip.dead_core_mask = (uint64_t(1) << dead_cores) - 1;
+    chip.dead_mpe_row_mask = (uint64_t(1) << dead_mpe_rows) - 1;
+    return chip;
+}
+
+ChipConfig
 makeTrainingChip(double freq_ghz)
 {
     ChipConfig chip;

@@ -198,6 +198,16 @@ void validateSystemConfig(const SystemConfig &sys);
 /** The fabricated 4-core inference chip with 200 GB/s DDR. */
 ChipConfig makeInferenceChip(double freq_ghz = 1.5);
 
+/**
+ * The inference chip with its lowest @p dead_cores cores and lowest
+ * @p dead_mpe_rows MPE rows masked dead — the canonical degraded-mode
+ * configuration used by the fault and serving studies. Throws when
+ * the masks would leave no live unit.
+ */
+ChipConfig makeDegradedInferenceChip(unsigned dead_cores,
+                                     unsigned dead_mpe_rows = 0,
+                                     double freq_ghz = 1.5);
+
 /** The scaled 32-core training chip with 400 GB/s HBM (Fig 11). */
 ChipConfig makeTrainingChip(double freq_ghz = 1.5);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/error.hh"
 #include "common/logging.hh"
@@ -201,6 +202,31 @@ FaultInjector::inject(FaultSite site, uint64_t item,
         return FaultOutcome::None;
     ++stats.injected;
     return resolveProtection(site, rng, stats);
+}
+
+std::string
+faultConfigSummary(const FaultConfig &cfg)
+{
+    if (!cfg.enabled())
+        return "fault-free";
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "rate %g", cfg.rate);
+    std::string out = rate;
+    out += ", sites ";
+    static const char *const kShort[kNumFaultSites] = {
+        "storage", "mac", "ring", "spad"};
+    bool first = true;
+    for (unsigned s = 0; s < kNumFaultSites; ++s) {
+        if (!cfg.site_enabled[s])
+            continue;
+        if (!first)
+            out += "+";
+        out += kShort[s];
+        first = false;
+    }
+    if (first)
+        out += "none";
+    return out;
 }
 
 double

@@ -35,6 +35,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "common/random.hh"
 
@@ -212,6 +213,13 @@ double expectedRetryCycles(const FaultConfig &cfg, FaultSite site,
  * per-work-item Rng streams without any shared RNG state.
  */
 uint64_t mixSeed(uint64_t seed, uint64_t item);
+
+/**
+ * One-line human-readable description of a fault scenario
+ * ("fault-free" or "rate 1e-07, sites storage+mac+ring+spad"),
+ * stable across runs for golden-diffed reports.
+ */
+std::string faultConfigSummary(const FaultConfig &cfg);
 
 } // namespace rapid
 

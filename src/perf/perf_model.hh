@@ -67,7 +67,11 @@ struct NetworkPerf
     double total_macs = 0;
     double mem_bytes = 0;
 
-    double samplesPerSecond() const { return batch / total_seconds; }
+    double
+    samplesPerSecond() const
+    {
+        return double(batch) / total_seconds;
+    }
 
     /** Sustained tera-ops/s (2 ops per MAC). */
     double
@@ -99,6 +103,14 @@ class PerfModel
      */
     NetworkPerf evaluate(const Network &net, const ExecutionPlan &plan,
                          int64_t batch = 1) const;
+
+    /**
+     * End-to-end latency of one batch in seconds — the quantity the
+     * serving simulator freezes into its virtual-clock latency table.
+     */
+    double batchLatencySeconds(const Network &net,
+                               const ExecutionPlan &plan,
+                               int64_t batch) const;
 
     /** Per-layer evaluation (exposed for tests and the compiler). */
     LayerPerf evaluateLayer(const Layer &layer, const LayerPlan &plan,
@@ -138,7 +150,7 @@ struct TrainingPerf
     double
     samplesPerSecond() const
     {
-        return minibatch / step_seconds;
+        return double(minibatch) / step_seconds;
     }
 
     double total_macs = 0; ///< fwd+bwd MACs for the whole minibatch

@@ -39,6 +39,14 @@ struct EnergyReport
     double sustained_tops = 0;
     double tops_per_w = 0;
     PowerBreakdown power;
+
+    /** Energy amortized per sample of a @p batch-sized run — the
+     *  per-request cost the serving simulator accounts. */
+    double
+    joulesPerSample(int64_t batch) const
+    {
+        return batch > 0 ? energy_j / double(batch) : 0.0;
+    }
 };
 
 /**

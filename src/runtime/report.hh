@@ -20,7 +20,9 @@ namespace rapid {
 std::string layerReport(const NetworkPerf &perf,
                         bool include_aux = false);
 
-/** One-line summary: latency, throughput, sustained TOPS, breakdown. */
+/** One-line summary: latency, throughput, sustained TOPS, breakdown.
+ *  A fault scenario's replay cycles append a "retry N%" term; the
+ *  fault-free format is unchanged. */
 std::string summaryLine(const NetworkPerf &perf);
 
 /** Summary including the energy report. */
@@ -29,8 +31,8 @@ std::string summaryLine(const NetworkPerf &perf,
 
 /**
  * Machine-readable CSV of the per-layer results with a header row:
- * name,type,precision,macs,conv_cycles,overhead,quant,aux,mem_stall,
- * mem_bytes,utilization,seconds.
+ * name,type,precision,macs,conv_cycles,overhead,quant,aux,retry,
+ * mem_stall,mem_bytes,utilization,seconds.
  */
 std::string layerCsv(const NetworkPerf &perf);
 

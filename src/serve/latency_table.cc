@@ -1,0 +1,118 @@
+#include "serve/latency_table.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "perf/perf_model.hh"
+#include "power/power_model.hh"
+#include "runtime/session.hh"
+
+namespace rapid {
+
+namespace {
+
+constexpr size_t kNumPrecisionModes = 5; // Precision enum cardinality
+
+size_t
+precIndex(Precision p)
+{
+    const size_t idx = size_t(p);
+    rapid_assert(idx < kNumPrecisionModes, "precision index ", idx,
+                 " out of range");
+    return idx;
+}
+
+} // namespace
+
+LatencyTable::LatencyTable(const ChipConfig &chip,
+                           const std::vector<Network> &networks,
+                           const std::vector<Precision> &precisions,
+                           int64_t max_batch, const FaultConfig &fault)
+    : num_networks_(networks.size()), max_batch_(max_batch),
+      has_precision_(kNumPrecisionModes, false)
+{
+    RAPID_CHECK_ARG(!networks.empty(),
+                    "latency table needs at least one network");
+    RAPID_CHECK_ARG(!precisions.empty(),
+                    "latency table needs at least one precision");
+    RAPID_CHECK_ARG(max_batch >= 1,
+                    "latency table max_batch must be >= 1, got ",
+                    max_batch);
+    for (Precision p : precisions)
+        has_precision_[precIndex(p)] = true;
+
+    entries_.resize(num_networks_ * kNumPrecisionModes *
+                    size_t(max_batch));
+
+    // Every (network, precision, batch) point is an independent
+    // compile-and-evaluate; sweep them in parallel and gather by
+    // index so the frozen table is bit-identical at any thread count.
+    const size_t points =
+        networks.size() * precisions.size() * size_t(max_batch);
+    const std::vector<LatencyEntry> results =
+        parallelMap(points, [&](size_t idx) -> LatencyEntry {
+            const size_t per_net = precisions.size() * size_t(max_batch);
+            const size_t net = idx / per_net;
+            const Precision p = precisions[(idx % per_net) /
+                                           size_t(max_batch)];
+            const int64_t batch = 1 + int64_t(idx % size_t(max_batch));
+            InferenceSession session(chip, networks[net]);
+            InferenceOptions opts;
+            opts.target = p;
+            opts.batch = batch;
+            opts.fault = fault;
+            const InferenceResult r = session.run(opts);
+            LatencyEntry e;
+            const double ns = std::ceil(r.perf.total_seconds * 1e9);
+            e.latency_ns = ns < 1.0 ? 1 : int64_t(ns);
+            e.energy_j = r.energy.energy_j;
+            return e;
+        });
+    for (size_t idx = 0; idx < points; ++idx) {
+        const size_t per_net = precisions.size() * size_t(max_batch);
+        const size_t net = idx / per_net;
+        const Precision p =
+            precisions[(idx % per_net) / size_t(max_batch)];
+        const int64_t batch = 1 + int64_t(idx % size_t(max_batch));
+        entries_[(net * kNumPrecisionModes + precIndex(p)) *
+                     size_t(max_batch) +
+                 size_t(batch - 1)] = results[idx];
+    }
+}
+
+const LatencyEntry &
+LatencyTable::at(size_t network, Precision p, int64_t batch) const
+{
+    rapid_assert(network < num_networks_, "network index ", network,
+                 " out of range");
+    rapid_assert(batch >= 1 && batch <= max_batch_, "batch ", batch,
+                 " outside 1..", max_batch_);
+    rapid_assert(hasPrecision(p), "precision ", precisionName(p),
+                 " not evaluated in this table");
+    return entries_[(network * kNumPrecisionModes + precIndex(p)) *
+                        size_t(max_batch_) +
+                    size_t(batch - 1)];
+}
+
+int64_t
+LatencyTable::latencyNs(size_t network, Precision p,
+                        int64_t batch) const
+{
+    return at(network, p, batch).latency_ns;
+}
+
+double
+LatencyTable::energyJ(size_t network, Precision p, int64_t batch) const
+{
+    return at(network, p, batch).energy_j;
+}
+
+bool
+LatencyTable::hasPrecision(Precision p) const
+{
+    return has_precision_[precIndex(p)];
+}
+
+} // namespace rapid

@@ -1,0 +1,200 @@
+#include "serve/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace rapid {
+
+int64_t
+latencyPercentile(const std::vector<int64_t> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    rapid_assert(q >= 0.0 && q <= 1.0, "percentile ", q,
+                 " outside [0,1]");
+    const double rank = std::ceil(q * double(sorted.size()));
+    size_t idx = rank < 1.0 ? 0 : size_t(rank) - 1;
+    idx = std::min(idx, sorted.size() - 1);
+    return sorted[idx];
+}
+
+LatencyStats
+summarizeLatencies(const std::vector<int64_t> &sorted)
+{
+    LatencyStats s;
+    s.count = sorted.size();
+    if (sorted.empty())
+        return s;
+    s.p50 = latencyPercentile(sorted, 0.50);
+    s.p95 = latencyPercentile(sorted, 0.95);
+    s.p99 = latencyPercentile(sorted, 0.99);
+    s.p999 = latencyPercentile(sorted, 0.999);
+    s.max = sorted.back();
+    double sum = 0;
+    for (int64_t v : sorted)
+        sum += double(v);
+    s.mean = sum / double(sorted.size());
+    return s;
+}
+
+namespace {
+
+void
+countPrecision(TenantMetrics &m, Precision p)
+{
+    if (p == Precision::INT4 || p == Precision::INT2)
+        ++m.served_int4;
+    else if (p == Precision::HFP8)
+        ++m.served_hfp8;
+    else
+        ++m.served_fp16;
+}
+
+void
+finishTenant(TenantMetrics &m, std::vector<int64_t> &latencies,
+             int64_t horizon_ns)
+{
+    std::sort(latencies.begin(), latencies.end());
+    m.latency = summarizeLatencies(latencies);
+    const double horizon_s = double(horizon_ns) * 1e-9;
+    m.goodput_rps = double(m.sla_met) / horizon_s;
+    m.offered_rps = double(m.offered) / horizon_s;
+}
+
+} // namespace
+
+ServeMetrics
+computeMetrics(const ServeConfig &cfg, const ServeResult &result)
+{
+    ServeMetrics out;
+    out.tenants.resize(cfg.tenants.size());
+    for (size_t ti = 0; ti < cfg.tenants.size(); ++ti)
+        out.tenants[ti].name = cfg.tenants[ti].name;
+    out.total.name = "total";
+
+    std::vector<std::vector<int64_t>> lat(cfg.tenants.size());
+    std::vector<int64_t> lat_all;
+    for (const RequestRecord &r : result.requests) {
+        TenantMetrics &m = out.tenants[r.tenant];
+        ++m.offered;
+        ++out.total.offered;
+        if (r.shed) {
+            ++m.shed;
+            ++out.total.shed;
+            continue;
+        }
+        ++m.completed;
+        ++out.total.completed;
+        countPrecision(m, r.precision);
+        countPrecision(out.total, r.precision);
+        const int64_t l = r.latencyNs();
+        lat[r.tenant].push_back(l);
+        lat_all.push_back(l);
+        if (l <= cfg.tenants[r.tenant].deadline_ns) {
+            ++m.sla_met;
+            ++out.total.sla_met;
+        } else {
+            ++m.violations;
+            ++out.total.violations;
+        }
+    }
+    for (size_t ti = 0; ti < cfg.tenants.size(); ++ti)
+        finishTenant(out.tenants[ti], lat[ti], result.horizon_ns);
+    finishTenant(out.total, lat_all, result.horizon_ns);
+
+    for (const BatchRecord &b : result.batches) {
+        out.energy_j += b.energy_j;
+        out.mean_batch_size += double(b.size);
+    }
+    out.batches = result.batches.size();
+    if (out.batches > 0)
+        out.mean_batch_size /= double(out.batches);
+    if (out.total.completed > 0)
+        out.energy_per_request_mj =
+            1e3 * out.energy_j / double(out.total.completed);
+    const int64_t span =
+        result.end_ns > 0 ? result.end_ns : result.horizon_ns;
+    out.mean_queue_depth =
+        span > 0 ? result.queue_depth_integral / double(span) : 0.0;
+    out.max_queue_depth = result.max_queue_depth;
+    return out;
+}
+
+namespace {
+
+std::string
+ms(int64_t ns)
+{
+    return Table::fmt(double(ns) * 1e-6, 3);
+}
+
+std::string
+pctOf(uint64_t part, uint64_t whole)
+{
+    if (whole == 0)
+        return "-";
+    return Table::fmt(100.0 * double(part) / double(whole), 1) + "%";
+}
+
+} // namespace
+
+std::string
+serveReport(const ServeMetrics &m)
+{
+    Table t({"Tenant", "Offered/s", "Goodput/s", "Shed", "Viol",
+             "p50 ms", "p95 ms", "p99 ms", "p99.9 ms", "INT4", "HFP8",
+             "FP16"});
+    auto row = [&](const TenantMetrics &tm) {
+        t.addRow({tm.name, Table::fmt(tm.offered_rps, 1),
+                  Table::fmt(tm.goodput_rps, 1),
+                  pctOf(tm.shed, tm.offered),
+                  pctOf(tm.violations, tm.offered),
+                  ms(tm.latency.p50), ms(tm.latency.p95),
+                  ms(tm.latency.p99), ms(tm.latency.p999),
+                  pctOf(tm.served_int4, tm.completed),
+                  pctOf(tm.served_hfp8, tm.completed),
+                  pctOf(tm.served_fp16, tm.completed)});
+    };
+    for (const TenantMetrics &tm : m.tenants)
+        row(tm);
+    row(m.total);
+
+    std::ostringstream oss;
+    oss << t.str();
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "batches %llu (mean size %.2f), queue depth mean "
+                  "%.2f max %lld, %.3f mJ/request\n",
+                  (unsigned long long)m.batches, m.mean_batch_size,
+                  m.mean_queue_depth, (long long)m.max_queue_depth,
+                  m.energy_per_request_mj);
+    oss << buf;
+    return oss.str();
+}
+
+std::string
+serveJsonRecord(const std::string &section, const std::string &policy,
+                const ServeMetrics &m)
+{
+    std::ostringstream oss;
+    oss << "{\"section\":\"" << section << "\",\"policy\":\"" << policy
+        << "\",\"offered_rps\":" << Table::fmt(m.total.offered_rps, 3)
+        << ",\"goodput_rps\":" << Table::fmt(m.total.goodput_rps, 3)
+        << ",\"offered\":" << m.total.offered
+        << ",\"shed\":" << m.total.shed
+        << ",\"violations\":" << m.total.violations
+        << ",\"p50_ms\":" << ms(m.total.latency.p50)
+        << ",\"p99_ms\":" << ms(m.total.latency.p99)
+        << ",\"p999_ms\":" << ms(m.total.latency.p999)
+        << ",\"energy_per_request_mj\":"
+        << Table::fmt(m.energy_per_request_mj, 4)
+        << ",\"mean_batch\":" << Table::fmt(m.mean_batch_size, 3)
+        << "}";
+    return oss.str();
+}
+
+} // namespace rapid

@@ -1,22 +1,27 @@
 # Golden-figure regression runner, invoked by ctest as
 #   cmake -DBIN=<bench binary> -DGOLDEN=<snapshot> -DOUT=<capture> \
-#         -P run_golden.cmake
+#         [-DTHREADS=<n>] -P run_golden.cmake
 #
-# Runs the figure at --threads 4 and requires stdout to match the
-# checked-in snapshot byte for byte. The sweep engine gathers results
-# by index and reduces serially, so output is identical at any thread
-# count; a mismatch here means the model's numbers moved (update the
-# snapshot deliberately via scripts/update_goldens.sh) or determinism
-# broke (fix the code).
+# Runs the figure at --threads ${THREADS} (default 4) and requires
+# stdout to match the checked-in snapshot byte for byte. The sweep
+# engine gathers results by index and reduces serially, so output is
+# identical at any thread count; a mismatch here means the model's
+# numbers moved (update the snapshot deliberately via
+# scripts/update_goldens.sh) or determinism broke (fix the code).
+# Registering one figure at several THREADS values against the same
+# snapshot turns the runner into a thread-count bit-identity check.
 
 foreach(var BIN GOLDEN OUT)
     if(NOT DEFINED ${var})
         message(FATAL_ERROR "run_golden.cmake: missing -D${var}=...")
     endif()
 endforeach()
+if(NOT DEFINED THREADS)
+    set(THREADS 4)
+endif()
 
 execute_process(
-    COMMAND ${BIN} --threads 4
+    COMMAND ${BIN} --threads ${THREADS}
     OUTPUT_FILE ${OUT}
     RESULT_VARIABLE run_rc)
 if(NOT run_rc EQUAL 0)

@@ -189,13 +189,13 @@ TEST(Report, CsvIsWellFormed)
     opts.target = Precision::HFP8;
     InferenceResult r = session.run(opts);
     std::string csv = layerCsv(r.perf);
-    // Header plus one line per layer, all with 12 fields.
+    // Header plus one line per layer, all with 13 fields.
     size_t lines = std::count(csv.begin(), csv.end(), '\n');
     EXPECT_EQ(lines, r.perf.layers.size() + 1);
     std::istringstream in(csv);
     std::string line;
     while (std::getline(in, line))
-        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 11u)
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 12u)
             << line;
 }
 

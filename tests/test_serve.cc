@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Serving-simulator invariants: deterministic workload generation,
+ * virtual-clock monotonicity, thread-count bit-identity, the
+ * dynamic-batcher max-wait contract, the SLA router's feasibility
+ * bound, closed shed accounting, and the degraded-chip /
+ * precision-ladder goodput ordering the bench demonstrates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hh"
+#include "common/parallel.hh"
+#include "serve/metrics.hh"
+#include "serve/server_sim.hh"
+#include "serve/workload.hh"
+
+using namespace rapid;
+
+namespace {
+
+constexpr int64_t kMs = 1'000'000;
+
+ServeConfig
+singleTenantConfig(double rps, int64_t deadline_ns = 10 * kMs)
+{
+    ServeConfig cfg;
+    TenantConfig t;
+    t.name = "web";
+    t.network = "resnet50";
+    t.arrival_rps = rps;
+    t.deadline_ns = deadline_ns;
+    cfg.tenants.push_back(t);
+    return cfg;
+}
+
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { ThreadPool::setDefaultThreads(0); }
+};
+
+// ---------------------------------------------------------------------
+// Workload generation
+// ---------------------------------------------------------------------
+
+TEST_F(ServeTest, ArrivalsAreDeterministic)
+{
+    const ServeConfig cfg = singleTenantConfig(2000.0);
+    const std::vector<Arrival> a = generateArrivals(cfg);
+    const std::vector<Arrival> b = generateArrivals(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].time_ns, b[i].time_ns);
+        EXPECT_EQ(a[i].tenant, b[i].tenant);
+        EXPECT_EQ(a[i].id, b[i].id);
+    }
+}
+
+TEST_F(ServeTest, ArrivalsSortedWithDenseIds)
+{
+    ServeConfig cfg = singleTenantConfig(1500.0);
+    TenantConfig bg = cfg.tenants[0];
+    bg.name = "bg";
+    bg.pattern = ArrivalPattern::Bursty;
+    cfg.tenants.push_back(bg);
+    const std::vector<Arrival> trace = generateArrivals(cfg);
+    ASSERT_FALSE(trace.empty());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(trace[i].id, i); // dense, in merged order
+        EXPECT_GE(trace[i].time_ns, 0);
+        EXPECT_LT(trace[i].time_ns, cfg.horizon_ns);
+        if (i > 0) {
+            EXPECT_GE(trace[i].time_ns, trace[i - 1].time_ns);
+        }
+    }
+}
+
+TEST_F(ServeTest, TenantStreamsAreIndependent)
+{
+    // A tenant's arrival times depend only on its own index and the
+    // root seed, not on who else shares the trace.
+    const ServeConfig solo = singleTenantConfig(1000.0);
+    const std::vector<int64_t> alone = tenantArrivalTimes(
+        solo.tenants[0], 0, solo.horizon_ns, solo.seed);
+
+    ServeConfig crowded = singleTenantConfig(1000.0);
+    TenantConfig other = crowded.tenants[0];
+    other.name = "other";
+    other.arrival_rps = 4000.0;
+    crowded.tenants.push_back(other);
+    const std::vector<int64_t> with_other = tenantArrivalTimes(
+        crowded.tenants[0], 0, crowded.horizon_ns, crowded.seed);
+
+    EXPECT_EQ(alone, with_other);
+}
+
+TEST_F(ServeTest, OfferedLoadMatchesConfiguredRate)
+{
+    // Over a 1 s horizon the realized count should be within a few
+    // sigma of rate * horizon for both arrival patterns.
+    for (ArrivalPattern p :
+         {ArrivalPattern::Poisson, ArrivalPattern::Bursty}) {
+        ServeConfig cfg = singleTenantConfig(2000.0);
+        cfg.tenants[0].pattern = p;
+        const double n = double(
+            tenantArrivalTimes(cfg.tenants[0], 0, cfg.horizon_ns,
+                               cfg.seed).size());
+        EXPECT_NEAR(n, 2000.0, 6.0 * std::sqrt(8.0 * 2000.0))
+            << arrivalPatternName(p);
+    }
+}
+
+TEST_F(ServeTest, BurstyPatternCoalescesArrivals)
+{
+    ServeConfig cfg = singleTenantConfig(2000.0);
+    cfg.tenants[0].pattern = ArrivalPattern::Bursty;
+    cfg.tenants[0].burst_mean = 8.0;
+    const std::vector<int64_t> times = tenantArrivalTimes(
+        cfg.tenants[0], 0, cfg.horizon_ns, cfg.seed);
+    ASSERT_GT(times.size(), 100u);
+    size_t coincident = 0;
+    for (size_t i = 1; i < times.size(); ++i)
+        if (times[i] == times[i - 1])
+            ++coincident;
+    // Mean burst size 8 => the large majority of arrivals share
+    // their epoch timestamp with a neighbour.
+    EXPECT_GT(double(coincident), 0.5 * double(times.size()));
+}
+
+// ---------------------------------------------------------------------
+// Virtual clock and executor
+// ---------------------------------------------------------------------
+
+TEST_F(ServeTest, VirtualClockIsMonotonic)
+{
+    const ServeConfig cfg = singleTenantConfig(2500.0);
+    const ServeSim sim(makeInferenceChip(), cfg);
+    const ServeResult r = sim.run();
+    ASSERT_FALSE(r.batches.empty());
+    int64_t prev_launch = 0;
+    int64_t prev_completion = 0;
+    for (const BatchRecord &b : r.batches) {
+        EXPECT_GE(b.launch_ns, prev_launch);
+        // One serialized executor: a batch starts only after the
+        // previous one completes.
+        EXPECT_GE(b.launch_ns, prev_completion);
+        EXPECT_GT(b.completion_ns, b.launch_ns);
+        EXPECT_GE(b.size, 1);
+        EXPECT_LE(b.size, cfg.batcher.max_batch);
+        prev_launch = b.launch_ns;
+        prev_completion = b.completion_ns;
+    }
+    for (const RequestRecord &rec : r.requests) {
+        if (rec.shed)
+            continue;
+        EXPECT_GE(rec.launch_ns, rec.arrival_ns);
+        EXPECT_GT(rec.completion_ns, rec.launch_ns);
+    }
+    EXPECT_GE(r.end_ns, r.batches.back().completion_ns);
+}
+
+TEST_F(ServeTest, BitIdenticalAcrossThreadCounts)
+{
+    const ServeConfig cfg = singleTenantConfig(2000.0);
+
+    ThreadPool::setDefaultThreads(1);
+    const ServeResult serial = ServeSim(makeInferenceChip(), cfg).run();
+
+    ThreadPool::setDefaultThreads(8);
+    const ServeResult wide = ServeSim(makeInferenceChip(), cfg).run();
+
+    ASSERT_EQ(serial.requests.size(), wide.requests.size());
+    for (size_t i = 0; i < serial.requests.size(); ++i) {
+        EXPECT_EQ(serial.requests[i].launch_ns,
+                  wide.requests[i].launch_ns);
+        EXPECT_EQ(serial.requests[i].completion_ns,
+                  wide.requests[i].completion_ns);
+        EXPECT_EQ(serial.requests[i].shed, wide.requests[i].shed);
+        EXPECT_EQ(serial.requests[i].precision,
+                  wide.requests[i].precision);
+    }
+    const ServeMetrics ms = computeMetrics(cfg, serial);
+    const ServeMetrics mw = computeMetrics(cfg, wide);
+    EXPECT_EQ(serveReport(ms), serveReport(mw)); // stable text too
+}
+
+TEST_F(ServeTest, TimeoutForcedBatchesRespectMaxWait)
+{
+    // Low load: batches go out on head timeouts. Every timeout-forced
+    // batch must have held its head for exactly >= max_wait, and no
+    // head may sit unlaunched longer than max_wait plus one max-batch
+    // execution (the executor-busy carryover bound).
+    const ServeConfig cfg = singleTenantConfig(200.0);
+    const ServeSim sim(makeInferenceChip(), cfg);
+    const ServeResult r = sim.run();
+
+    std::map<int64_t, int64_t> head_arrival; // launch -> oldest arrival
+    for (const RequestRecord &rec : r.requests) {
+        if (rec.shed)
+            continue;
+        auto [it, fresh] =
+            head_arrival.emplace(rec.launch_ns, rec.arrival_ns);
+        if (!fresh)
+            it->second = std::min(it->second, rec.arrival_ns);
+    }
+    const int64_t max_exec = sim.table().latencyNs(
+        0, cfg.ladder.back(), cfg.batcher.max_batch);
+    ASSERT_FALSE(r.batches.empty());
+    size_t forced = 0;
+    for (const BatchRecord &b : r.batches) {
+        const int64_t head = head_arrival.at(b.launch_ns);
+        if (b.forced_by_timeout) {
+            ++forced;
+            EXPECT_GE(b.launch_ns - head, cfg.batcher.max_wait_ns);
+        }
+        EXPECT_LE(b.launch_ns - head,
+                  cfg.batcher.max_wait_ns + max_exec);
+    }
+    EXPECT_GT(forced, 0u); // 200 req/s cannot fill batches of 8
+}
+
+// ---------------------------------------------------------------------
+// SLA router
+// ---------------------------------------------------------------------
+
+TEST_F(ServeTest, RouterBoundIsHardForSingleQueue)
+{
+    // Single tenant, single-precision ladder: the admission-time
+    // prediction is a hard upper bound, so an admitted request can
+    // never miss a deadline the router judged feasible.
+    for (double rps : {500.0, 2000.0, 3500.0}) {
+        ServeConfig cfg = singleTenantConfig(rps);
+        cfg.ladder = {Precision::INT4};
+        const ServeResult r =
+            ServeSim(makeInferenceChip(), cfg).run();
+        for (const RequestRecord &rec : r.requests) {
+            if (rec.shed)
+                continue;
+            ASSERT_GE(rec.predicted_ns, 0);
+            EXPECT_LE(rec.latencyNs(), rec.predicted_ns);
+            EXPECT_LE(rec.predicted_ns,
+                      cfg.tenants[0].deadline_ns);
+        }
+        const ServeMetrics m = computeMetrics(cfg, r);
+        EXPECT_EQ(m.total.violations, 0u) << "rps " << rps;
+    }
+}
+
+TEST_F(ServeTest, RouterHonorsQualityFloor)
+{
+    ServeConfig cfg = singleTenantConfig(500.0, 60 * kMs);
+    cfg.tenants[0].min_precision = Precision::HFP8;
+    const ServeResult r = ServeSim(makeInferenceChip(), cfg).run();
+    for (const RequestRecord &rec : r.requests) {
+        if (!rec.shed) {
+            EXPECT_GE(servingQuality(rec.precision),
+                      servingQuality(Precision::HFP8));
+        }
+    }
+    const ServeMetrics m = computeMetrics(cfg, r);
+    EXPECT_EQ(m.total.served_int4, 0u);
+    EXPECT_GT(m.total.served_hfp8, 0u);
+}
+
+TEST_F(ServeTest, ShedAccountingIsClosed)
+{
+    // Overload on purpose: sheds must happen and must balance.
+    ServeConfig cfg = singleTenantConfig(5000.0);
+    TenantConfig bg = cfg.tenants[0];
+    bg.name = "bg";
+    bg.network = "mobilenetv1";
+    bg.arrival_rps = 2000.0;
+    cfg.tenants.push_back(bg);
+    const ServeResult r = ServeSim(makeInferenceChip(), cfg).run();
+    const ServeMetrics m = computeMetrics(cfg, r);
+    ASSERT_EQ(m.tenants.size(), 2u);
+    uint64_t offered = 0;
+    for (const TenantMetrics &tm : m.tenants) {
+        EXPECT_TRUE(tm.accountingClosed())
+            << tm.name << ": " << tm.offered << " != "
+            << tm.completed << " + " << tm.shed;
+        offered += tm.offered;
+    }
+    EXPECT_TRUE(m.total.accountingClosed());
+    EXPECT_EQ(m.total.offered, offered);
+    EXPECT_EQ(m.total.offered, r.requests.size());
+    EXPECT_GT(m.total.shed, 0u);
+}
+
+TEST_F(ServeTest, LowPrecisionLadderMovesKneeRight)
+{
+    // At an offered load past the DLFloat16 saturation point, the
+    // INT4-first ladder must deliver strictly more goodput.
+    const double rps = 2000.0;
+    ServeConfig int4 = singleTenantConfig(rps);
+    ServeConfig fp16 = singleTenantConfig(rps);
+    fp16.ladder = {Precision::FP16};
+    const ChipConfig chip = makeInferenceChip();
+    const ServeMetrics mi =
+        computeMetrics(int4, ServeSim(chip, int4).run());
+    const ServeMetrics mf =
+        computeMetrics(fp16, ServeSim(chip, fp16).run());
+    EXPECT_GT(mi.total.goodput_rps, 1.5 * mf.total.goodput_rps);
+    EXPECT_LT(mi.total.shed, mf.total.shed);
+}
+
+TEST_F(ServeTest, DeadCoresShiftSlaCliff)
+{
+    // Half the cores dead: the same scenario keeps closing requests
+    // but the goodput knee moves left and sheds appear earlier.
+    const double rps = 2500.0;
+    const ServeConfig cfg = singleTenantConfig(rps);
+    const ServeMetrics healthy = computeMetrics(
+        cfg, ServeSim(makeInferenceChip(), cfg).run());
+    const ServeMetrics degraded = computeMetrics(
+        cfg, ServeSim(makeDegradedInferenceChip(2), cfg).run());
+    EXPECT_GT(degraded.total.completed, 0u);
+    EXPECT_LT(degraded.total.goodput_rps,
+              0.8 * healthy.total.goodput_rps);
+    EXPECT_GT(degraded.total.shed, healthy.total.shed);
+}
+
+TEST_F(ServeTest, FaultRetriesLengthenLatencyTable)
+{
+    ServeConfig cfg = singleTenantConfig(1000.0);
+    const ChipConfig chip = makeInferenceChip();
+    const ServeSim clean(chip, cfg);
+    cfg.fault = FaultConfig::withRate(2e-7);
+    cfg.fault.protectAll(parityProtection(64.0));
+    const ServeSim faulty(chip, cfg);
+    for (int64_t b : {1, 8})
+        EXPECT_GT(faulty.table().latencyNs(0, Precision::INT4, b),
+                  clean.table().latencyNs(0, Precision::INT4, b));
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+TEST_F(ServeTest, NearestRankPercentiles)
+{
+    std::vector<int64_t> sorted;
+    for (int64_t i = 1; i <= 100; ++i)
+        sorted.push_back(i * 10);
+    EXPECT_EQ(latencyPercentile(sorted, 0.50), 500);
+    EXPECT_EQ(latencyPercentile(sorted, 0.95), 950);
+    EXPECT_EQ(latencyPercentile(sorted, 0.99), 990);
+    EXPECT_EQ(latencyPercentile(sorted, 0.999), 1000);
+    EXPECT_EQ(latencyPercentile(sorted, 0.0), 10);
+    EXPECT_EQ(latencyPercentile({}, 0.5), 0);
+}
+
+TEST_F(ServeTest, EnergyAccountingMatchesBatches)
+{
+    const ServeConfig cfg = singleTenantConfig(1000.0);
+    const ServeResult r = ServeSim(makeInferenceChip(), cfg).run();
+    const ServeMetrics m = computeMetrics(cfg, r);
+    double energy = 0;
+    int64_t sized = 0;
+    for (const BatchRecord &b : r.batches) {
+        energy += b.energy_j;
+        sized += b.size;
+    }
+    EXPECT_DOUBLE_EQ(m.energy_j, energy);
+    EXPECT_EQ(m.batches, r.batches.size());
+    EXPECT_DOUBLE_EQ(m.mean_batch_size,
+                     double(sized) / double(r.batches.size()));
+    EXPECT_GT(m.energy_per_request_mj, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Config validation (negative paths)
+// ---------------------------------------------------------------------
+
+TEST_F(ServeTest, RejectsEmptyTenantList)
+{
+    ServeConfig cfg;
+    EXPECT_THROW(validateServeConfig(cfg), Error);
+}
+
+TEST_F(ServeTest, RejectsNonPositiveDeadline)
+{
+    ServeConfig cfg = singleTenantConfig(1000.0);
+    cfg.tenants[0].deadline_ns = 0;
+    EXPECT_THROW(validateServeConfig(cfg), Error);
+    cfg.tenants[0].deadline_ns = -5;
+    EXPECT_THROW(validateServeConfig(cfg), Error);
+}
+
+TEST_F(ServeTest, RejectsNonPositiveRate)
+{
+    ServeConfig cfg = singleTenantConfig(0.0);
+    EXPECT_THROW(validateServeConfig(cfg), Error);
+}
+
+TEST_F(ServeTest, RejectsZeroMaxBatch)
+{
+    ServeConfig cfg = singleTenantConfig(1000.0);
+    cfg.batcher.max_batch = 0;
+    EXPECT_THROW(validateServeConfig(cfg), Error);
+}
+
+TEST_F(ServeTest, RejectsNegativeMaxWait)
+{
+    ServeConfig cfg = singleTenantConfig(1000.0);
+    cfg.batcher.max_wait_ns = -1;
+    EXPECT_THROW(validateServeConfig(cfg), Error);
+}
+
+TEST_F(ServeTest, RejectsUnservableLadder)
+{
+    ServeConfig cfg = singleTenantConfig(1000.0);
+    cfg.ladder.clear();
+    EXPECT_THROW(validateServeConfig(cfg), Error);
+    cfg.ladder = {Precision::FP32};
+    EXPECT_THROW(validateServeConfig(cfg), Error);
+}
+
+TEST_F(ServeTest, RejectsBadBurstMean)
+{
+    ServeConfig cfg = singleTenantConfig(1000.0);
+    cfg.tenants[0].pattern = ArrivalPattern::Bursty;
+    cfg.tenants[0].burst_mean = 0.5;
+    EXPECT_THROW(validateServeConfig(cfg), Error);
+}
+
+TEST_F(ServeTest, RejectsBadFaultScenario)
+{
+    ServeConfig cfg = singleTenantConfig(1000.0);
+    cfg.fault.rate = 1.5;
+    EXPECT_THROW(validateServeConfig(cfg), Error);
+}
+
+TEST_F(ServeTest, RejectsAllDeadChip)
+{
+    EXPECT_THROW(makeDegradedInferenceChip(4), Error);
+    const ServeConfig cfg = singleTenantConfig(1000.0);
+    ChipConfig chip = makeInferenceChip();
+    chip.dead_core_mask = 0xf; // all four cores gone
+    EXPECT_THROW(ServeSim(chip, cfg), Error);
+}
+
+} // namespace

@@ -1,0 +1,17 @@
+// Lint fixture: must trip the no-wallclock check (and only it).
+// Reading wall time from model code makes output differ run to run,
+// which breaks the golden-figure diffs and the virtual-clock contract.
+#include <chrono>
+
+namespace rapid {
+
+long
+fixtureWallclockRead()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               t1 - t0).count();
+}
+
+} // namespace rapid

@@ -16,6 +16,12 @@ Checks
                   engines outside src/common/random.*; all randomness
                   (fault injection especially) derives from fixed
                   seeds through rapid::Rng so runs are reproducible
+  no-wallclock    no std::chrono::*_clock::now / gettimeofday /
+                  clock_gettime outside src/common/parallel.* and the
+                  sweepMain timing harness (src/common/sweep.*); model
+                  results run on the deterministic virtual clock, and
+                  a stray wall-clock read is how nondeterminism sneaks
+                  into golden-diffed output
 
 A finding on a given line can be waived with a trailing comment:
     // rapid-lint: allow(<check-name>)
@@ -66,6 +72,15 @@ RNG_ENGINE_RE = re.compile(
 
 # The one place allowed to own a raw RNG engine: the seeded Rng.
 RNG_ALLOWED = ("src/common/random.",)
+
+WALLCLOCK_RE = re.compile(
+    r"std::chrono::\w*_clock::now\b"
+    r"|(?<![A-Za-z0-9_])(?:gettimeofday|clock_gettime)\s*\(")
+
+# The places allowed to read wall time: the thread pool's idle waits
+# and the sweepMain harness that reports bench wall-clock timings
+# (which go to the RAPID_SWEEP_JSON side channel, never to stdout).
+WALLCLOCK_ALLOWED = ("src/common/parallel.", "src/common/sweep.")
 
 
 def strip_noise(line):
@@ -166,6 +181,14 @@ class Linter:
                         "rapid::Rng via common/random.hh (mixSeed for "
                         "per-item streams) so fault injection and "
                         "sweeps replay bit-identically")
+        if ("no-wallclock" not in allowed
+                and not posix.startswith(WALLCLOCK_ALLOWED)
+                and WALLCLOCK_RE.search(line)):
+            self.report(posix, lineno, "no-wallclock",
+                        "wall-clock read outside src/common/parallel.* "
+                        "and src/common/sweep.*; simulators and benches "
+                        "run on the virtual clock so output stays "
+                        "bit-identical across runs and thread counts")
         if ("float-eq" not in allowed and posix.startswith("src/precision/")
                 and FLOAT_EQ_RE.search(line)):
             self.report(posix, lineno, "float-eq",
