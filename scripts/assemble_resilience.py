@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Assemble the resilience-sweep results into BENCH_resilience.json.
+
+resilience_sweep appends one JSON record per policy-grid cell to the
+file named by RAPID_RESILIENCE_JSON ({"section": "policy_grid",
+"rate": ..., "policy": ..., "accuracy": ..., "work_efficiency": ...,
+closed recovery accounting, fault counters, "final_precision"}). This
+script merges those lines — keeping the last record per (section,
+rate, policy) so reruns overwrite stale cells — verifies that every
+cell's accounting is closed, computes each policy's worst-case
+accuracy drop versus the fault-free cell of the same policy, writes
+the grouped records to BENCH_resilience.json, and prints a per-policy
+summary.
+
+Usage: assemble_resilience.py <raw-jsonl> [<output-json>]
+"""
+
+import json
+import sys
+
+
+def load_records(path):
+    records = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"{path}:{line_no}: bad resilience record: {exc}"
+                )
+            key = (rec["section"], float(rec["rate"]), rec["policy"])
+            records[key] = rec
+    return [records[k] for k in sorted(records)]
+
+
+def policy_summary(records):
+    """Per policy: the fault-free baseline accuracy, the worst
+    accuracy and work efficiency across nonzero fault rates, and the
+    total recovery activity."""
+    policies = {}
+    for rec in records:
+        if rec["section"] != "policy_grid":
+            continue
+        entry = policies.setdefault(rec["policy"], {
+            "baseline_accuracy": None,
+            "worst_accuracy": None,
+            "worst_work_efficiency": None,
+            "retries": 0,
+            "rollbacks": 0,
+            "escalations": 0,
+            "skipped": 0,
+        })
+        if float(rec["rate"]) == 0.0:
+            entry["baseline_accuracy"] = float(rec["accuracy"])
+        else:
+            acc = float(rec["accuracy"])
+            eff = float(rec["work_efficiency"])
+            if (entry["worst_accuracy"] is None
+                    or acc < entry["worst_accuracy"]):
+                entry["worst_accuracy"] = acc
+            if (entry["worst_work_efficiency"] is None
+                    or eff < entry["worst_work_efficiency"]):
+                entry["worst_work_efficiency"] = eff
+        entry["retries"] += int(rec["retries"])
+        entry["rollbacks"] += int(rec["rollbacks"])
+        entry["escalations"] += int(rec["escalations"])
+        entry["skipped"] += int(rec["skipped"])
+    return policies
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    raw_path = argv[1]
+    out_path = argv[2] if len(argv) == 3 else "BENCH_resilience.json"
+
+    records = load_records(raw_path)
+    if not records:
+        raise SystemExit(f"{raw_path}: no resilience records found")
+
+    not_closed = [
+        rec for rec in records
+        if rec["section"] == "policy_grid" and not rec["closed"]
+    ]
+    if not_closed:
+        cells = ", ".join(
+            f"{r['policy']}@{r['rate']}" for r in not_closed
+        )
+        raise SystemExit(
+            f"{raw_path}: open recovery accounting in cells: {cells}"
+        )
+
+    sections = {}
+    for rec in records:
+        sections.setdefault(rec["section"], []).append(rec)
+
+    policies = policy_summary(records)
+    out = {
+        "sections": sections,
+        "policies": [
+            {"policy": name, **entry}
+            for name, entry in sorted(policies.items())
+        ],
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(out, fh, indent=2)
+        fh.write("\n")
+
+    width = max((len(p) for p in policies), default=8) + 2
+    print(f"{'policy':<{width}}{'clean acc':>10}{'worst acc':>10}"
+          f"{'worst eff':>10}{'recoveries':>11}")
+    for name, entry in sorted(policies.items()):
+        recoveries = (entry["retries"] + entry["rollbacks"]
+                      + entry["escalations"])
+        base = entry["baseline_accuracy"]
+        worst = entry["worst_accuracy"]
+        base_s = f"{base:.3f}" if base is not None else "-"
+        worst_s = f"{worst:.3f}" if worst is not None else "-"
+        eff = entry["worst_work_efficiency"]
+        eff_s = f"{eff:.3f}" if eff is not None else "-"
+        print(f"{name:<{width}}{base_s:>10}{worst_s:>10}{eff_s:>10}"
+              f"{recoveries:>11}")
+    print(f"\nwrote {out_path} ({len(records)} records, "
+          f"{len(sections)} sections)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -25,11 +25,13 @@ ctest --test-dir build 2>&1 | tee test_output.txt || fail "ctest"
 
 # Figure sweeps: every driver appends its wall-clock record to the
 # sweep log, which assemble_sweeps.py merges into BENCH_sweeps.json.
-# serve_sweep additionally appends per-ramp-point serving records,
-# which assemble_serve.py merges into BENCH_serve.json.
+# serve_sweep additionally appends per-ramp-point serving records
+# (assemble_serve.py -> BENCH_serve.json) and resilience_sweep its
+# policy-grid cells (assemble_resilience.py -> BENCH_resilience.json).
 export RAPID_SWEEP_JSON="$PWD/build/sweeps_raw.jsonl"
 export RAPID_SERVE_JSON="$PWD/build/serve_raw.jsonl"
-rm -f "$RAPID_SWEEP_JSON" "$RAPID_SERVE_JSON"
+export RAPID_RESILIENCE_JSON="$PWD/build/resilience_raw.jsonl"
+rm -f "$RAPID_SWEEP_JSON" "$RAPID_SERVE_JSON" "$RAPID_RESILIENCE_JSON"
 (for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
     echo "===== $b"
@@ -40,7 +42,8 @@ rm -f "$RAPID_SWEEP_JSON" "$RAPID_SERVE_JSON"
 # Single-thread baselines for the heavier sweeps so the timing report
 # can show the parallel speedup.
 for fig in fig13_inference_latency fig14_inference_efficiency \
-           fig15_training_throughput fault_sweep serve_sweep; do
+           fig15_training_throughput fault_sweep serve_sweep \
+           resilience_sweep; do
     build/bench/"$fig" --threads 1 > /dev/null || fail "$fig baseline"
 done
 
@@ -53,6 +56,11 @@ echo
 echo "===== serving goodput knees"
 python3 scripts/assemble_serve.py "$RAPID_SERVE_JSON" \
     BENCH_serve.json || fail "serve report"
+
+echo
+echo "===== resilience policy summary"
+python3 scripts/assemble_resilience.py "$RAPID_RESILIENCE_JSON" \
+    BENCH_resilience.json || fail "resilience report"
 
 (for e in build/examples/*; do
     [ -x "$e" ] && [ -f "$e" ] || continue

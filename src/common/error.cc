@@ -13,6 +13,8 @@ errorCodeName(ErrorCode code)
         return "invalid argument";
       case ErrorCode::InvalidConfig:
         return "invalid configuration";
+      case ErrorCode::NumericFault:
+        return "numeric fault";
     }
     return "error";
 }

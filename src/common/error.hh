@@ -30,6 +30,7 @@ enum class ErrorCode
 {
     InvalidArgument, ///< a bad option/parameter value
     InvalidConfig,   ///< an inconsistent hardware configuration
+    NumericFault,    ///< a non-finite value reached a checked datapath
 };
 
 /** Name of an error code ("invalid argument", ...). */
@@ -88,6 +89,23 @@ namespace detail {
         if (!(cond)) {                                                      \
             ::rapid::detail::throwError(                                    \
                 ::rapid::ErrorCode::InvalidConfig, __FILE__, __LINE__,      \
+                ::rapid::detail::formatMessage(                             \
+                    "check '" #cond "' failed: ", __VA_ARGS__));            \
+        }                                                                   \
+    } while (0)
+
+/**
+ * Always-on numeric-health check: throws rapid::Error
+ * (ErrorCode::NumericFault) in every build type when @p cond is
+ * false. Use it where a non-finite value must surface as a structured,
+ * catchable event — training accumulations especially — instead of
+ * silently propagating NaN once NDEBUG strips the rapid_dasserts.
+ */
+#define RAPID_CHECK_NUMERIC(cond, ...)                                      \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::rapid::detail::throwError(                                    \
+                ::rapid::ErrorCode::NumericFault, __FILE__, __LINE__,       \
                 ::rapid::detail::formatMessage(                             \
                     "check '" #cond "' failed: ", __VA_ARGS__));            \
         }                                                                   \

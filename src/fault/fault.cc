@@ -21,6 +21,8 @@ faultSiteName(FaultSite site)
         return "flit";
       case FaultSite::Scratchpad:
         return "scratchpad";
+      case FaultSite::TrainerGemm:
+        return "trainer-gemm";
     }
     return "?";
 }
@@ -149,6 +151,17 @@ FaultInjector::eventDraw(Rng &rng) const
     return rng.uniform() < cfg_.rate;
 }
 
+bool
+FaultInjector::hashEventDraw(FaultSite site, uint64_t item) const
+{
+    const uint64_t salted =
+        cfg_.seed ^ (uint64_t(site) + 1) * 0xd6e8feb86659fd93ULL;
+    const uint64_t mix = mixSeed(salted, item);
+    // Top 53 bits -> uniform double in [0, 1), mirroring the mt19937
+    // real distribution's resolution.
+    return double(mix >> 11) * 0x1.0p-53 < cfg_.rate;
+}
+
 uint32_t
 FaultInjector::corruptBits(Rng &rng, unsigned bits, uint32_t word,
                            unsigned &flips) const
@@ -214,7 +227,7 @@ faultConfigSummary(const FaultConfig &cfg)
     std::string out = rate;
     out += ", sites ";
     static const char *const kShort[kNumFaultSites] = {
-        "storage", "mac", "ring", "spad"};
+        "storage", "mac", "ring", "spad", "tgemm"};
     bool first = true;
     for (unsigned s = 0; s < kNumFaultSites; ++s) {
         if (!cfg.site_enabled[s])

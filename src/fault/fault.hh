@@ -48,9 +48,10 @@ enum class FaultSite
     MacOutput,       ///< systolic accumulator output (event-level)
     RingFlit,        ///< flit on a ring link (event-level)
     Scratchpad,      ///< staged L0 block (event-level)
+    TrainerGemm,     ///< training GEMM output element (event-level)
 };
 
-inline constexpr unsigned kNumFaultSites = 4;
+inline constexpr unsigned kNumFaultSites = 5;
 
 const char *faultSiteName(FaultSite site);
 
@@ -81,9 +82,12 @@ struct FaultConfig
     double rate = 0.0;
     /// Root seed of every deterministic per-(site, item) stream.
     uint64_t seed = 0xfa1175ULL;
-    /// Per-site enables; a disabled site never faults.
+    /// Per-site enables; a disabled site never faults. TrainerGemm is
+    /// opt-in (the resilient trainer enables it) so hardware-site
+    /// scenarios and their golden summaries are unaffected by the
+    /// training site's existence.
     std::array<bool, kNumFaultSites> site_enabled{
-        {true, true, true, true}};
+        {true, true, true, true, false}};
     /// Per-site protection (defaults: unprotected).
     std::array<SiteProtection, kNumFaultSites> protection{};
 
@@ -167,6 +171,15 @@ class FaultInjector
 
     /** One Bernoulli(rate) draw from @p rng. */
     bool eventDraw(Rng &rng) const;
+
+    /**
+     * Hash-derived Bernoulli(rate) for (site, item): no mt19937
+     * construction, so high-volume sites (one item per GEMM output
+     * element) can pre-filter in a few ns and build the full stream()
+     * only on the rare hit. Sites opting in define their hit set
+     * through this draw rather than eventDraw(stream(...)).
+     */
+    bool hashEventDraw(FaultSite site, uint64_t item) const;
 
     /**
      * Flip each of the low @p bits of @p word independently with

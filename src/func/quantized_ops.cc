@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace rapid {
@@ -22,12 +23,27 @@ chunkedDot(const float *a, const float *b, int64_t n,
     for (int64_t i = 0; i < n; ++i) {
         if (a[i] == 0.0f || b[i] == 0.0f)
             continue; // zero-gated FMA passes the accumulator through
-        acc.add(double(a[i]) * double(b[i]));
+        const double term = double(a[i]) * double(b[i]);
+        // A non-finite product means a poisoned operand (upstream
+        // NaN, e.g. an injected fault that landed in a cached
+        // activation or master weight). Guard before the accumulator
+        // sees it — the accumulator's invariant is that terms are
+        // finite — and surface a structured, catchable event in every
+        // build type instead of silently propagating NaN through the
+        // training step.
+        RAPID_CHECK_NUMERIC(std::isfinite(term),
+                            "non-finite product at element ", i,
+                            " of a ", n, "-element chunked dot: a "
+                            "poisoned operand reached the training "
+                            "accumulation");
+        acc.add(term);
     }
-    // DLFloat16 saturates, so a finite operand stream must reduce to
-    // a finite total; anything else is an emulation bug.
-    rapid_dassert(std::isfinite(acc.total()),
-                  "non-finite chunked dot product");
+    // DLFloat16 saturates, so the finite term stream above must
+    // reduce to a finite total; this backstop is once per dot.
+    RAPID_CHECK_NUMERIC(std::isfinite(acc.total()),
+                        "non-finite chunked dot product over ", n,
+                        " elements: a poisoned operand reached the "
+                        "training accumulation");
     return dlfloat16().quantize(acc.total(), cfg.rounding);
 }
 

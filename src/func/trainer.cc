@@ -2,12 +2,106 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hh"
 
 namespace rapid {
 
+void
+validateMlpConfig(const MlpConfig &cfg)
+{
+    RAPID_CHECK_ARG(cfg.dims.size() >= 2,
+                    "MlpConfig.dims needs at least 2 entries (input and "
+                    "output width), got ", cfg.dims.size());
+    for (size_t i = 0; i < cfg.dims.size(); ++i)
+        RAPID_CHECK_ARG(cfg.dims[i] > 0, "MlpConfig.dims[", i,
+                        "] must be positive, got ", cfg.dims[i]);
+    RAPID_CHECK_ARG(std::isfinite(cfg.learning_rate) &&
+                        cfg.learning_rate > 0.0f,
+                    "MlpConfig.learning_rate must be finite and "
+                    "positive, got ", cfg.learning_rate);
+    RAPID_CHECK_ARG(std::isfinite(cfg.momentum) && cfg.momentum >= 0.0f &&
+                        cfg.momentum < 1.0f,
+                    "MlpConfig.momentum must be in [0, 1), got ",
+                    cfg.momentum);
+    RAPID_CHECK_ARG(std::isfinite(cfg.pact_alpha_init) &&
+                        cfg.pact_alpha_init > 0.0f,
+                    "MlpConfig.pact_alpha_init must be finite and "
+                    "positive, got ", cfg.pact_alpha_init);
+    RAPID_CHECK_ARG(cfg.pact_bits >= 2,
+                    "MlpConfig.pact_bits must be at least 2, got ",
+                    cfg.pact_bits);
+    RAPID_CHECK_ARG(std::isfinite(cfg.alpha_lr_scale) &&
+                        cfg.alpha_lr_scale >= 0.0f,
+                    "MlpConfig.alpha_lr_scale must be finite and "
+                    ">= 0, got ", cfg.alpha_lr_scale);
+    RAPID_CHECK_ARG(std::isfinite(cfg.alpha_decay) &&
+                        cfg.alpha_decay >= 0.0f,
+                    "MlpConfig.alpha_decay must be finite and >= 0, "
+                    "got ", cfg.alpha_decay);
+}
+
+const char *
+trainPrecisionName(TrainPrecision precision)
+{
+    switch (precision) {
+      case TrainPrecision::FP32:
+        return "fp32";
+      case TrainPrecision::FP16:
+        return "fp16";
+      case TrainPrecision::HFP8:
+        return "hfp8";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+allFinite(const std::vector<float> &v)
+{
+    for (float x : v)
+        if (!std::isfinite(x))
+            return false;
+    return true;
+}
+
+} // namespace
+
+bool
+MlpState::operator==(const MlpState &o) const
+{
+    auto bitsEqual = [](const std::vector<float> &a,
+                        const std::vector<float> &b) {
+        if (a.size() != b.size())
+            return false;
+        // memcmp semantics: compare encodings, not float values, so
+        // NaNs and signed zeros count as differences.
+        return a.empty() ||
+               std::memcmp(a.data(), b.data(),
+                           a.size() * sizeof(float)) == 0;
+    };
+    if (precision != o.precision || rng != o.rng ||
+        layers.size() != o.layers.size())
+        return false;
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const DenseState &a = layers[i];
+        const DenseState &b = o.layers[i];
+        float av[2] = {a.alpha, a.alpha_vel};
+        float bv[2] = {b.alpha, b.alpha_vel};
+        if (!bitsEqual(a.w, b.w) || !bitsEqual(a.b, b.b) ||
+            !bitsEqual(a.w_vel, b.w_vel) || !bitsEqual(a.b_vel, b.b_vel) ||
+            std::memcmp(av, bv, sizeof(av)) != 0)
+            return false;
+    }
+    return true;
+}
+
 Mlp::Mlp(const MlpConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
 {
-    rapid_assert(cfg.dims.size() >= 2, "MLP needs at least one layer");
+    validateMlpConfig(cfg);
     for (size_t i = 0; i + 1 < cfg.dims.size(); ++i) {
         Dense d;
         int64_t in = cfg.dims[i];
@@ -24,17 +118,63 @@ Mlp::Mlp(const MlpConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
 
 Tensor
 Mlp::gemm(const Tensor &a, Fp8Kind a_kind, const Tensor &b,
-          Fp8Kind b_kind) const
+          Fp8Kind b_kind)
 {
+    Tensor out;
     switch (cfg_.precision) {
       case TrainPrecision::FP32:
-        return matmul(a, b);
+        out = matmul(a, b);
+        break;
       case TrainPrecision::FP16:
-        return fp16Matmul(a, b, cfg_.exec);
+        out = fp16Matmul(a, b, cfg_.exec);
+        break;
       case TrainPrecision::HFP8:
-        return hfp8Matmul(a, a_kind, b, b_kind, cfg_.exec);
+        out = hfp8Matmul(a, a_kind, b, b_kind, cfg_.exec);
+        break;
+      default:
+        rapid_panic("unknown training precision");
     }
-    rapid_panic("unknown training precision");
+    if (injector_ && injector_->active(FaultSite::TrainerGemm))
+        injectGemmFaults(out);
+    return out;
+}
+
+void
+Mlp::injectGemmFaults(Tensor &out)
+{
+    // Mirror of the systolic MacOutput model at the training GEMM
+    // boundary: a struck output element has one bit of its DLFloat16
+    // (south-bus) encoding flipped. Items advance monotonically so
+    // each executed GEMM — including a replay of the same step after
+    // retry or rollback — is an independent exposure window. The
+    // Bernoulli is the hash pre-filter: the full mt19937 stream is
+    // only built for struck elements, keeping the per-element cost at
+    // a hash rather than an RNG construction.
+    const int64_t n = out.numel();
+    const uint64_t base = fault_item_;
+    fault_item_ += uint64_t(n);
+    fault_stats_.sampled += uint64_t(n);
+    for (int64_t i = 0; i < n; ++i) {
+        const uint64_t item = base + uint64_t(i);
+        if (!injector_->hashEventDraw(FaultSite::TrainerGemm, item))
+            continue;
+        ++fault_stats_.injected;
+        Rng rng = injector_->stream(FaultSite::TrainerGemm, item);
+        const FaultOutcome hit = injector_->resolveProtection(
+            FaultSite::TrainerGemm, rng, fault_stats_);
+        if (hit != FaultOutcome::Silent)
+            continue; // corrected in place, or the GEMM tile replays
+        const uint32_t word = dlfloat16().encode(out[i]);
+        const float clean = dlfloat16().decode(word);
+        const float bad = dlfloat16().decode(injector_->flipOneBit(
+            rng, dlfloat16().storageBits(), word));
+        if (bad == clean) {
+            ++fault_stats_.masked; // e.g. a sign flip on zero
+            continue;
+        }
+        ++fault_stats_.sdc;
+        out[i] = bad;
+    }
 }
 
 Tensor
@@ -90,31 +230,40 @@ Mlp::denseBackward(Dense &d, const Tensor &dy)
 }
 
 void
-Mlp::applyUpdates(Dense &d)
+Mlp::applyUpdates(Dense &d, float inv_scale)
 {
     const float lr = cfg_.learning_rate;
     const float mom = cfg_.momentum;
+    // inv_scale un-scales the loss-scaled gradients. Multiplication
+    // by 1.0f is exact under IEEE 754, so an unscaled step (the
+    // historical trainStep path) stays bit-identical.
     for (int64_t i = 0; i < d.w.numel(); ++i) {
-        d.w_vel[i] = mom * d.w_vel[i] - lr * d.w_grad[i];
+        d.w_vel[i] = mom * d.w_vel[i] - lr * (d.w_grad[i] * inv_scale);
         d.w[i] += d.w_vel[i];
     }
     for (int64_t i = 0; i < d.b.numel(); ++i) {
-        d.b_vel[i] = mom * d.b_vel[i] - lr * d.b_grad[i];
+        d.b_vel[i] = mom * d.b_vel[i] - lr * (d.b_grad[i] * inv_scale);
         d.b[i] += d.b_vel[i];
     }
     if (cfg_.use_pact) {
         d.alpha_vel = mom * d.alpha_vel
-                      - lr * cfg_.alpha_lr_scale * d.alpha_grad;
+                      - lr * cfg_.alpha_lr_scale *
+                            (d.alpha_grad * inv_scale);
         d.alpha = std::max(0.1f, d.alpha + d.alpha_vel);
     }
 }
 
-float
-Mlp::trainStep(const Tensor &x, const std::vector<int> &labels)
+GradHealth
+Mlp::computeGradients(const Tensor &x, const std::vector<int> &labels,
+                      float loss_scale)
 {
     Tensor logits = forward(x);
-    float loss = softmaxCrossEntropy(logits, labels);
+    GradHealth health;
+    health.loss = softmaxCrossEntropy(logits, labels);
+    health.loss_finite = std::isfinite(health.loss);
     Tensor dy = softmaxCrossEntropyGrad(logits, labels);
+    if (loss_scale != 1.0f)
+        dy.apply([loss_scale](float v) { return v * loss_scale; });
 
     for (size_t li = layers_.size(); li-- > 0;) {
         Dense &d = layers_[li];
@@ -138,9 +287,45 @@ Mlp::trainStep(const Tensor &x, const std::vector<int> &labels)
             dy = denseBackward(d, dy);
         }
     }
+    // Per-step finiteness scan over every pending gradient: the
+    // sensor the loss scaler's skip-step decision and the recovery
+    // ladder both read.
+    for (const Dense &d : layers_) {
+        for (int64_t i = 0; i < d.w_grad.numel(); ++i) {
+            const float g = d.w_grad[i];
+            if (!std::isfinite(g))
+                health.grads_finite = false;
+            else
+                health.grad_max_abs =
+                    std::max(health.grad_max_abs, std::abs(g));
+        }
+        for (int64_t i = 0; i < d.b_grad.numel(); ++i) {
+            const float g = d.b_grad[i];
+            if (!std::isfinite(g))
+                health.grads_finite = false;
+            else
+                health.grad_max_abs =
+                    std::max(health.grad_max_abs, std::abs(g));
+        }
+        if (cfg_.use_pact && !std::isfinite(d.alpha_grad))
+            health.grads_finite = false;
+    }
+    return health;
+}
+
+void
+Mlp::applyStep(float inv_scale)
+{
     for (auto &d : layers_)
-        applyUpdates(d);
-    return loss;
+        applyUpdates(d, inv_scale);
+}
+
+float
+Mlp::trainStep(const Tensor &x, const std::vector<int> &labels)
+{
+    const GradHealth health = computeGradients(x, labels);
+    applyStep();
+    return health.loss;
 }
 
 void
@@ -199,6 +384,90 @@ Mlp::pactAlpha(size_t i) const
 {
     rapid_assert(i < layers_.size(), "layer index out of range");
     return layers_[i].alpha;
+}
+
+void
+Mlp::setPrecision(TrainPrecision precision)
+{
+    cfg_.precision = precision;
+}
+
+void
+Mlp::setFaultInjector(const FaultInjector *injector)
+{
+    injector_ = injector;
+}
+
+bool
+Mlp::weightsFinite() const
+{
+    for (const Dense &d : layers_) {
+        if (!allFinite(d.w.storage()) || !allFinite(d.b.storage()))
+            return false;
+        if (cfg_.use_pact && !std::isfinite(d.alpha))
+            return false;
+    }
+    return true;
+}
+
+MlpState
+Mlp::exportState() const
+{
+    MlpState state;
+    state.precision = cfg_.precision;
+    // The textual mt19937_64 representation is stable across runs and
+    // platforms with the same libstdc++ wording; it round-trips the
+    // stream position exactly.
+    std::ostringstream oss;
+    Rng rng_copy = rng_;
+    oss << rng_copy.engine();
+    state.rng = oss.str();
+    for (const Dense &d : layers_) {
+        DenseState ls;
+        ls.w = d.w.storage();
+        ls.b = d.b.storage();
+        ls.w_vel = d.w_vel.storage();
+        ls.b_vel = d.b_vel.storage();
+        ls.alpha = d.alpha;
+        ls.alpha_vel = d.alpha_vel;
+        state.layers.push_back(std::move(ls));
+    }
+    return state;
+}
+
+void
+Mlp::importState(const MlpState &state)
+{
+    RAPID_CHECK_ARG(state.layers.size() == layers_.size(),
+                    "MlpState holds ", state.layers.size(),
+                    " layers but the model has ", layers_.size());
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        const DenseState &ls = state.layers[i];
+        Dense &d = layers_[i];
+        RAPID_CHECK_ARG(
+            ls.w.size() == size_t(d.w.numel()) &&
+                ls.b.size() == size_t(d.b.numel()) &&
+                ls.w_vel.size() == size_t(d.w_vel.numel()) &&
+                ls.b_vel.size() == size_t(d.b_vel.numel()),
+            "MlpState layer ", i, " shape mismatch");
+    }
+    cfg_.precision = state.precision;
+    std::istringstream iss(state.rng);
+    iss >> rng_.engine();
+    RAPID_CHECK_ARG(!iss.fail(),
+                    "MlpState.rng does not parse as an mt19937_64 "
+                    "stream state");
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        const DenseState &ls = state.layers[i];
+        Dense &d = layers_[i];
+        d.w.storage() = ls.w;
+        d.b.storage() = ls.b;
+        d.w_vel.storage() = ls.w_vel;
+        d.b_vel.storage() = ls.b_vel;
+        d.alpha = ls.alpha;
+        d.alpha_vel = ls.alpha_vel;
+        d.alpha_grad = 0.0f;
+    }
 }
 
 ParityResult

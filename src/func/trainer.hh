@@ -19,8 +19,10 @@
 #ifndef RAPID_FUNC_TRAINER_HH
 #define RAPID_FUNC_TRAINER_HH
 
+#include <string>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "func/datasets.hh"
 #include "func/quantized_ops.hh"
 #include "tensor/tensor.hh"
@@ -55,6 +57,59 @@ struct MlpConfig
 };
 
 /**
+ * Throw rapid::Error if @p cfg is malformed: fewer than two dims or a
+ * non-positive dim, a non-positive learning rate or PACT alpha init,
+ * momentum outside [0, 1), or fewer than 2 PACT bits.
+ */
+void validateMlpConfig(const MlpConfig &cfg);
+
+/** Human-readable training precision ("fp32" / "fp16" / "hfp8"). */
+const char *trainPrecisionName(TrainPrecision precision);
+
+/**
+ * Numeric health of one gradient computation — the per-step sensor
+ * the resilient training runtime reads before deciding whether the
+ * pending update is safe to apply.
+ */
+struct GradHealth
+{
+    float loss = 0.0f;        ///< batch loss at the attempted step
+    bool loss_finite = true;  ///< std::isfinite(loss)
+    bool grads_finite = true; ///< every weight/bias/alpha grad finite
+    float grad_max_abs = 0.0f; ///< largest |gradient| observed (finite)
+
+    bool healthy() const { return loss_finite && grads_finite; }
+};
+
+/**
+ * Bit-exact snapshot of one dense layer's trainable state (master
+ * weights, momentum buffers, PACT clip) — the unit the checkpoint
+ * engine serializes.
+ */
+struct DenseState
+{
+    std::vector<float> w, b, w_vel, b_vel;
+    float alpha = 0.0f;
+    float alpha_vel = 0.0f;
+};
+
+/**
+ * Bit-exact snapshot of the whole model: every layer plus the
+ * execution precision (which the recovery ladder may have escalated)
+ * and the serialized RNG stream position, so a restored model resumes
+ * the exact trajectory it would have taken uninterrupted.
+ */
+struct MlpState
+{
+    std::vector<DenseState> layers;
+    TrainPrecision precision = TrainPrecision::FP32;
+    std::string rng; ///< mt19937_64 stream state (textual, stable)
+
+    bool operator==(const MlpState &o) const;
+    bool operator!=(const MlpState &o) const { return !(*this == o); }
+};
+
+/**
  * Fully connected classifier with PACT-ReLU hidden activations and a
  * softmax cross-entropy head.
  */
@@ -68,6 +123,26 @@ class Mlp
 
     /** One SGD step on a minibatch; returns the batch loss. */
     float trainStep(const Tensor &x, const std::vector<int> &labels);
+
+    /**
+     * Forward + backward only: compute and cache the gradients of a
+     * minibatch without touching the weights. The loss gradient is
+     * multiplied by @p loss_scale before backpropagation (dynamic
+     * loss scaling lifts HFP8's small backward-format errors out of
+     * the FP8 underflow region); gradients stay *scaled* until
+     * applyStep() divides them back out. @p loss_scale 1 reproduces
+     * the historical trainStep math bit-for-bit.
+     */
+    GradHealth computeGradients(const Tensor &x,
+                                const std::vector<int> &labels,
+                                float loss_scale = 1.0f);
+
+    /**
+     * Apply the pending (scaled) gradients as one SGD-with-momentum
+     * update, unscaling by @p inv_scale (= 1 / loss_scale). Call at
+     * most once per computeGradients().
+     */
+    void applyStep(float inv_scale = 1.0f);
 
     /** Run @p epochs of minibatch SGD over @p train. */
     void train(const Dataset &train, int epochs, int64_t batch_size);
@@ -89,6 +164,42 @@ class Mlp
 
     size_t numLayers() const { return layers_.size(); }
 
+    /** The GEMM precision currently executing. */
+    TrainPrecision precision() const { return cfg_.precision; }
+
+    /**
+     * Switch the GEMM execution precision mid-run — the recovery
+     * ladder's HFP8 -> FP16 escalation. Master weights, momentum and
+     * PACT state carry over untouched.
+     */
+    void setPrecision(TrainPrecision precision);
+
+    /** Every master weight, bias, and PACT alpha is finite. */
+    bool weightsFinite() const;
+
+    /**
+     * Bit-exact snapshot / restore of all trainable state, the model
+     * half of the deterministic checkpoint format. importState
+     * validates layer shapes against this model's configuration.
+     */
+    MlpState exportState() const;
+    void importState(const MlpState &state);
+
+    /**
+     * Attach a fault injector: every GEMM output element becomes a
+     * FaultSite::TrainerGemm exposure keyed by a monotonically
+     * increasing element counter (mixSeed discipline — deterministic
+     * across runs and thread counts, and *not* rewound by rollback,
+     * so a retried step sees fresh, independent fault draws the way a
+     * re-executed step on real silicon would). Pass nullptr to
+     * detach. The injector must outlive the model.
+     */
+    void setFaultInjector(const FaultInjector *injector);
+
+    /** Cumulative TrainerGemm fault outcomes since clearFaultStats. */
+    const FaultStats &faultStats() const { return fault_stats_; }
+    void clearFaultStats() { fault_stats_ = FaultStats{}; }
+
   private:
     struct Dense
     {
@@ -108,12 +219,17 @@ class Mlp
     Tensor denseForward(Dense &d, const Tensor &x);
     Tensor denseBackward(Dense &d, const Tensor &dy);
     Tensor gemm(const Tensor &a, Fp8Kind a_kind, const Tensor &b,
-                Fp8Kind b_kind) const;
-    void applyUpdates(Dense &d);
+                Fp8Kind b_kind);
+    void injectGemmFaults(Tensor &out);
+    void applyUpdates(Dense &d, float inv_scale);
 
     MlpConfig cfg_;
     std::vector<Dense> layers_;
     Rng rng_;
+    const FaultInjector *injector_ = nullptr;
+    FaultStats fault_stats_;
+    /// Per-element fault-exposure counter (time-like: never rewound).
+    uint64_t fault_item_ = 0;
 };
 
 /** Result of a precision-parity experiment. */

@@ -18,6 +18,7 @@ CycleBreakdown::operator+=(const CycleBreakdown &o)
     quantization += o.quantization;
     aux += o.aux;
     retry += o.retry;
+    checkpoint += o.checkpoint;
     mem_stall += o.mem_stall;
     return *this;
 }

@@ -30,12 +30,14 @@ struct CycleBreakdown
     double quantization = 0; ///< FP16 <-> INT conversions on the SFU
     double aux = 0;        ///< activation/norm/pool/shuffle on the SFU
     double retry = 0;      ///< replays of detected-uncorrected faults
+    double checkpoint = 0; ///< training-state snapshot traffic
     double mem_stall = 0;  ///< cycles exposed by DRAM bandwidth
 
     double
     busy() const
     {
-        return conv_gemm + overhead + quantization + aux + retry;
+        return conv_gemm + overhead + quantization + aux + retry +
+               checkpoint;
     }
 
     double total() const { return busy() + mem_stall; }

@@ -1,0 +1,68 @@
+#include "resilience/loss_scaler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace rapid {
+
+void
+validateLossScalerConfig(const LossScalerConfig &cfg)
+{
+    RAPID_CHECK_ARG(std::isfinite(cfg.init_scale) && cfg.init_scale > 0,
+                    "LossScalerConfig.init_scale must be finite and "
+                    "positive, got ", cfg.init_scale);
+    RAPID_CHECK_ARG(std::isfinite(cfg.growth_factor) &&
+                        cfg.growth_factor >= 1.0f,
+                    "LossScalerConfig.growth_factor must be >= 1, got ",
+                    cfg.growth_factor);
+    RAPID_CHECK_ARG(std::isfinite(cfg.backoff_factor) &&
+                        cfg.backoff_factor > 0.0f &&
+                        cfg.backoff_factor < 1.0f,
+                    "LossScalerConfig.backoff_factor must be in (0, 1), "
+                    "got ", cfg.backoff_factor);
+    RAPID_CHECK_ARG(cfg.growth_interval > 0,
+                    "LossScalerConfig.growth_interval must be positive, "
+                    "got ", cfg.growth_interval);
+    RAPID_CHECK_ARG(std::isfinite(cfg.min_scale) && cfg.min_scale > 0 &&
+                        cfg.min_scale <= cfg.max_scale,
+                    "LossScalerConfig.min_scale must be positive and "
+                    "<= max_scale, got ", cfg.min_scale);
+    RAPID_CHECK_ARG(cfg.init_scale >= cfg.min_scale &&
+                        cfg.init_scale <= cfg.max_scale,
+                    "LossScalerConfig.init_scale ", cfg.init_scale,
+                    " outside [min_scale, max_scale]");
+}
+
+LossScaler::LossScaler(const LossScalerConfig &cfg) : cfg_(cfg)
+{
+    validateLossScalerConfig(cfg);
+    state_.scale = cfg.enabled ? cfg.init_scale : 1.0f;
+}
+
+bool
+LossScaler::update(bool healthy)
+{
+    if (!cfg_.enabled)
+        return healthy; // fixed scale 1: skip still protects weights
+    if (healthy) {
+        if (++state_.good_steps >= cfg_.growth_interval) {
+            const float grown = std::min(
+                cfg_.max_scale, state_.scale * cfg_.growth_factor);
+            if (grown > state_.scale)
+                ++state_.growths;
+            state_.scale = grown;
+            state_.good_steps = 0;
+        }
+        return true;
+    }
+    ++state_.skips;
+    ++state_.backoffs;
+    state_.scale = std::max(cfg_.min_scale,
+                            state_.scale * cfg_.backoff_factor);
+    state_.good_steps = 0;
+    return false;
+}
+
+} // namespace rapid

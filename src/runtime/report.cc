@@ -50,6 +50,12 @@ summaryLine(const NetworkPerf &perf)
                       100 * b.retry / busy);
         oss << buf;
     }
+    // Checkpointing runs charge snapshot traffic the same way.
+    if (b.checkpoint > 0) {
+        std::snprintf(buf, sizeof(buf), " checkpoint %.0f%%",
+                      100 * b.checkpoint / busy);
+        oss << buf;
+    }
     return oss.str();
 }
 

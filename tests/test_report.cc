@@ -93,8 +93,21 @@ TEST(Report, SummaryLineFaultFreeKeepsHistoricalFormat)
     EXPECT_NE(line.find("toynet"), std::string::npos);
     EXPECT_NE(line.find("batch 4"), std::string::npos);
     EXPECT_NE(line.find("busy split conv"), std::string::npos);
-    // No retry cycles -> no retry column (goldens depend on this).
+    // No retry/checkpoint cycles -> no such columns (goldens depend
+    // on this).
     EXPECT_EQ(line.find("retry"), std::string::npos);
+    EXPECT_EQ(line.find("checkpoint"), std::string::npos);
+}
+
+TEST(Report, SummaryLineReportsCheckpointShareWhenCharged)
+{
+    NetworkPerf perf = makePerf();
+    perf.breakdown.checkpoint = 20.0;
+    const std::string line = summaryLine(perf);
+    const size_t pos = line.find(" checkpoint ");
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_GT(pos, line.find("aux"));
+    EXPECT_EQ(line.back(), '%');
 }
 
 TEST(Report, SummaryLineReportsRetryShareWhenFaulty)

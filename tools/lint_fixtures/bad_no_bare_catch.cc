@@ -1,0 +1,19 @@
+// Lint fixture: must trip the no-bare-catch check (and only it).
+// A bare catch (...) erases the error taxonomy: a NumericFault from
+// the checked accumulation datapath becomes indistinguishable from a
+// logic bug, so the recovery ladder can no longer decide whether to
+// retry, rollback, or crash loudly.
+
+namespace rapid {
+
+int
+fixtureBareCatch(int (*risky)())
+{
+    try {
+        return risky();
+    } catch (...) {
+        return -1;
+    }
+}
+
+} // namespace rapid

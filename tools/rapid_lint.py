@@ -22,6 +22,11 @@ Checks
                   results run on the deterministic virtual clock, and
                   a stray wall-clock read is how nondeterminism sneaks
                   into golden-diffed output
+  no-bare-catch   no catch (...) outside src/common/parallel.* (the
+                  pool must ferry unknown exceptions across threads);
+                  recovery code catches rapid::Error and switches on
+                  its ErrorCode, so a numeric fault is never silently
+                  conflated with a logic bug
 
 A finding on a given line can be waived with a trailing comment:
     // rapid-lint: allow(<check-name>)
@@ -81,6 +86,13 @@ WALLCLOCK_RE = re.compile(
 # and the sweepMain harness that reports bench wall-clock timings
 # (which go to the RAPID_SWEEP_JSON side channel, never to stdout).
 WALLCLOCK_ALLOWED = ("src/common/parallel.", "src/common/sweep.")
+
+BARE_CATCH_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
+
+# The one place allowed to catch everything: the thread pool, which
+# must transport arbitrary exceptions from worker threads back to the
+# submitting thread.
+BARE_CATCH_ALLOWED = ("src/common/parallel.",)
 
 
 def strip_noise(line):
@@ -189,6 +201,14 @@ class Linter:
                         "and src/common/sweep.*; simulators and benches "
                         "run on the virtual clock so output stays "
                         "bit-identical across runs and thread counts")
+        if ("no-bare-catch" not in allowed
+                and not posix.startswith(BARE_CATCH_ALLOWED)
+                and BARE_CATCH_RE.search(line)):
+            self.report(posix, lineno, "no-bare-catch",
+                        "catch (...) swallows the error taxonomy; "
+                        "catch rapid::Error and switch on e.code() so "
+                        "numeric faults stay distinguishable from "
+                        "logic bugs")
         if ("float-eq" not in allowed and posix.startswith("src/precision/")
                 and FLOAT_EQ_RE.search(line)):
             self.report(posix, lineno, "float-eq",
