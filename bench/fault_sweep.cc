@@ -20,7 +20,7 @@
 
 #include "common/sweep.hh"
 #include "common/table.hh"
-#include "fault/fault.hh"
+#include "common/fault.hh"
 #include "fault/storage_sim.hh"
 #include "interconnect/ring.hh"
 #include "runtime/session.hh"

@@ -1,4 +1,4 @@
-#include "fault/fault.hh"
+#include "common/fault.hh"
 
 #include <algorithm>
 #include <cmath>

@@ -1,7 +1,11 @@
 /**
  * @file
  * Deterministic, seeded fault injection for the RaPiD model — the
- * resilience counterpart of the fault-free reproduction. RaPiD is
+ * resilience counterpart of the fault-free reproduction. The oracle
+ * lives in common/ because it is cross-cutting substrate like
+ * common/random.hh: every hardware-site model (interconnect, sim,
+ * perf, func) draws from it, while the campaign-level storage
+ * simulator stays in src/fault. RaPiD is
  * fabricated silicon, and the value of an ultra-low-precision chip
  * depends on how its datapaths behave when bits flip and units die,
  * so the model grows pluggable injection sites:
@@ -30,8 +34,8 @@
  * point early-returns before drawing anything.
  */
 
-#ifndef RAPID_FAULT_FAULT_HH
-#define RAPID_FAULT_FAULT_HH
+#ifndef RAPID_COMMON_FAULT_HH
+#define RAPID_COMMON_FAULT_HH
 
 #include <array>
 #include <cstdint>
@@ -236,4 +240,4 @@ std::string faultConfigSummary(const FaultConfig &cfg);
 
 } // namespace rapid
 
-#endif // RAPID_FAULT_FAULT_HH
+#endif // RAPID_COMMON_FAULT_HH

@@ -17,7 +17,7 @@
 #include "arch/config.hh"
 #include "arch/isa.hh"
 #include "compiler/dataflow.hh"
-#include "perf/plan.hh"
+#include "compiler/plan.hh"
 #include "workloads/layer.hh"
 
 namespace rapid {

@@ -5,8 +5,8 @@
  * frequency-throttle level (Sections III-C and IV-B).
  */
 
-#ifndef RAPID_PERF_PLAN_HH
-#define RAPID_PERF_PLAN_HH
+#ifndef RAPID_COMPILER_PLAN_HH
+#define RAPID_COMPILER_PLAN_HH
 
 #include <vector>
 
@@ -41,4 +41,4 @@ struct ExecutionPlan
 
 } // namespace rapid
 
-#endif // RAPID_PERF_PLAN_HH
+#endif // RAPID_COMPILER_PLAN_HH

@@ -10,7 +10,7 @@
 #ifndef RAPID_COMPILER_PRECISION_ASSIGN_HH
 #define RAPID_COMPILER_PRECISION_ASSIGN_HH
 
-#include "perf/plan.hh"
+#include "compiler/plan.hh"
 #include "workloads/layer.hh"
 
 namespace rapid {

@@ -30,7 +30,7 @@
 #include <cstdint>
 #include <string>
 
-#include "fault/fault.hh"
+#include "common/fault.hh"
 
 namespace rapid {
 

@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "fault/fault.hh"
+#include "common/fault.hh"
 #include "func/datasets.hh"
 #include "func/quantized_ops.hh"
 #include "tensor/tensor.hh"

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "common/logging.hh"
-#include "fault/fault.hh"
+#include "common/fault.hh"
 
 namespace rapid {
 

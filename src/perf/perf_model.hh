@@ -16,8 +16,8 @@
 
 #include "arch/config.hh"
 #include "compiler/dataflow.hh"
-#include "fault/fault.hh"
-#include "perf/plan.hh"
+#include "common/fault.hh"
+#include "compiler/plan.hh"
 #include "workloads/layer.hh"
 
 namespace rapid {

@@ -12,7 +12,7 @@
 #ifndef RAPID_POWER_THROTTLE_HH
 #define RAPID_POWER_THROTTLE_HH
 
-#include "perf/plan.hh"
+#include "compiler/plan.hh"
 #include "power/power_model.hh"
 
 namespace rapid {

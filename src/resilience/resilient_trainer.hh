@@ -38,7 +38,7 @@
 #include <map>
 #include <vector>
 
-#include "fault/fault.hh"
+#include "common/fault.hh"
 #include "func/trainer.hh"
 #include "resilience/checkpoint.hh"
 #include "resilience/loss_scaler.hh"

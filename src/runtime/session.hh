@@ -22,7 +22,7 @@
 
 #include "arch/config.hh"
 #include "compiler/precision_assign.hh"
-#include "fault/fault.hh"
+#include "common/fault.hh"
 #include "perf/perf_model.hh"
 #include "power/power_model.hh"
 #include "power/throttle.hh"

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "arch/config.hh"
-#include "fault/fault.hh"
+#include "common/fault.hh"
 #include "precision/precision.hh"
 #include "workloads/layer.hh"
 

@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "fault/fault.hh"
+#include "common/fault.hh"
 #include "precision/precision.hh"
 
 namespace rapid {

@@ -18,7 +18,7 @@
 #define RAPID_SIM_CORELET_SIM_HH
 
 #include "compiler/codegen.hh"
-#include "fault/fault.hh"
+#include "common/fault.hh"
 #include "sim/event_queue.hh"
 
 namespace rapid {

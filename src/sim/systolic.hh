@@ -23,7 +23,7 @@
 
 #include "arch/config.hh"
 #include "arch/isa.hh"
-#include "fault/fault.hh"
+#include "common/fault.hh"
 #include "tensor/tensor.hh"
 
 namespace rapid {

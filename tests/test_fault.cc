@@ -13,7 +13,7 @@
 
 #include "common/error.hh"
 #include "common/parallel.hh"
-#include "fault/fault.hh"
+#include "common/fault.hh"
 #include "fault/storage_sim.hh"
 #include "interconnect/ring.hh"
 #include "runtime/session.hh"

@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Link-time symbol audit: the post-build backstop behind rapid_lint's
+no-rand / no-wallclock source checks.
+
+Source linting sees what is written; the linker sees what is actually
+reachable. This tool runs nm over every object file the build
+produced (i.e. everything that links into every bench/test/example
+binary, including through static archives) and over the binaries
+themselves, and fails when a forbidden symbol is undefined -- meaning
+some code path actually references wall-clock or libc randomness:
+
+    rand srand random srandom drand48 lrand48 mrand48
+    clock_gettime gettimeofday time timespec_get
+
+Only the objects built from src/common/parallel.* and
+src/common/sweep.* may reference wall time (the pool's idle waits and
+the sweepMain timing harness, whose readings go to the bench-report
+side channel, never to golden-diffed stdout). A forbidden symbol in a
+binary's dynamic import table is accepted only when one of those
+allowed objects is what references it; third-party test frameworks
+are prebuilt archives, not our objects, and are outside the
+discipline.
+
+Modes
+  --build-dir BUILD     audit every object and binary under BUILD
+  --self-test --cxx CXX compile the planted fixtures under
+                        tools/lint_fixtures/audit/ and prove the audit
+                        fails on the wall-clock plant and passes the
+                        clean one
+
+Exit status: 0 clean, 1 violations, 2 usage or self-test failure.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+FORBIDDEN = frozenset({
+    "rand", "srand", "random", "srandom",
+    "drand48", "lrand48", "mrand48",
+    "clock_gettime", "gettimeofday", "time", "timespec_get",
+})
+
+#: Sources whose objects may legitimately reference wall time.
+ALLOWED_SOURCES = ("src/common/parallel.", "src/common/sweep.")
+
+#: Directories whose executables get the binary-level scan.
+BINARY_DIRS = ("tests", "bench", "examples")
+
+
+def undefined_symbols(nm, path):
+    """Undefined symbol names of an object or binary, version suffixes
+    (sym@GLIBC_x) stripped. Returns None when nm cannot read it."""
+    try:
+        proc = subprocess.run(
+            [nm, "--undefined-only", "--format=posix", str(path)],
+            capture_output=True, text=True)
+    except OSError:
+        return None
+    if proc.returncode != 0:
+        return None
+    symbols = set()
+    for line in proc.stdout.splitlines():
+        fields = line.split()
+        if fields:
+            symbols.add(fields[0].split("@")[0])
+    return symbols
+
+
+def source_of_object(rel_parts):
+    """Map an object's build-tree path to its source path.
+
+    CMake lays objects out as
+        <srcdir>/CMakeFiles/<target>.dir/<source-within-srcdir>.o
+    and mirrors the source directory tree inside the build tree, so
+    dropping the CMakeFiles/<target>.dir pair reconstructs the source
+    path. Returns None for layouts this cannot interpret.
+    """
+    parts = list(rel_parts)
+    try:
+        idx = parts.index("CMakeFiles")
+    except ValueError:
+        return None
+    if idx + 2 >= len(parts) + 1:
+        return None
+    source_parts = parts[:idx] + parts[idx + 2:]
+    if not source_parts:
+        return None
+    # "__/" components mean the source sat outside the target's dir.
+    source_parts = [p if p != "__" else ".." for p in source_parts]
+    source = "/".join(source_parts)
+    return source[:-2] if source.endswith(".o") else source
+
+
+def audit_build(build_dir, nm, json_path=None):
+    build = Path(build_dir)
+    if not build.is_dir():
+        print("audit_symbols: no build directory at %s" % build)
+        return 2
+
+    findings = []
+    allowed_refs = set()
+    objects = sorted(build.rglob("CMakeFiles/**/*.o"))
+    scanned = 0
+    for obj in objects:
+        rel = obj.relative_to(build)
+        source = source_of_object(rel.parts)
+        symbols = undefined_symbols(nm, obj)
+        if symbols is None:
+            continue
+        scanned += 1
+        hit = sorted(symbols & FORBIDDEN)
+        if not hit:
+            continue
+        if source is not None and source.startswith(ALLOWED_SOURCES):
+            allowed_refs.update(hit)
+            continue
+        for sym in hit:
+            findings.append({
+                "kind": "object", "path": rel.as_posix(),
+                "source": source, "symbol": sym,
+                "message": "object %s (from %s) references forbidden "
+                           "symbol '%s'" % (rel.as_posix(), source, sym),
+            })
+
+    binaries_scanned = 0
+    for top in BINARY_DIRS:
+        base = build / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.iterdir()):
+            if not path.is_file() or not os.access(path, os.X_OK):
+                continue
+            if path.suffix in (".cmake", ".txt", ".o"):
+                continue
+            symbols = undefined_symbols(nm, path)
+            if symbols is None:
+                continue
+            binaries_scanned += 1
+            for sym in sorted(symbols & FORBIDDEN):
+                if sym in allowed_refs:
+                    continue  # brought in by parallel./sweep. objects
+                findings.append({
+                    "kind": "binary",
+                    "path": path.relative_to(build).as_posix(),
+                    "source": None, "symbol": sym,
+                    "message": "binary %s imports forbidden symbol "
+                               "'%s' from outside the allowed "
+                               "src/common/parallel./sweep. objects"
+                               % (path.relative_to(build).as_posix(),
+                                  sym),
+                })
+
+    if json_path:
+        Path(json_path).write_text(json.dumps({
+            "tool": "audit_symbols",
+            "schema_version": 1,
+            "build_dir": str(build),
+            "objects_scanned": scanned,
+            "binaries_scanned": binaries_scanned,
+            "forbidden": sorted(FORBIDDEN),
+            "allowed_wallclock_refs": sorted(allowed_refs),
+            "violations": len(findings),
+            "findings": findings,
+        }, indent=2) + "\n")
+
+    for finding in findings:
+        print("audit_symbols: " + finding["message"])
+    if findings:
+        print("audit_symbols: %d violation(s) (%d objects, %d binaries "
+              "scanned)" % (len(findings), scanned, binaries_scanned))
+        return 1
+    print("audit_symbols: clean (%d objects, %d binaries scanned)"
+          % (scanned, binaries_scanned))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: compile the planted fixtures and prove detection.
+# ---------------------------------------------------------------------------
+
+def compile_fixture(cxx, source, out_dir):
+    obj = Path(out_dir) / (Path(source).stem + ".o")
+    proc = subprocess.run(
+        [cxx, "-c", str(source), "-o", str(obj)],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        print("audit_symbols self-test: cannot compile %s:\n%s"
+              % (source, proc.stderr))
+        return None
+    return obj
+
+
+def self_test(cxx, nm, root):
+    fixtures = Path(root) / "tools" / "lint_fixtures" / "audit"
+    planted = fixtures / "planted_wallclock.cc"
+    clean = fixtures / "clean_virtual.cc"
+    for path in (planted, clean):
+        if not path.is_file():
+            print("audit_symbols self-test: missing fixture %s" % path)
+            return 2
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="audit_selftest") as tmp:
+        planted_obj = compile_fixture(cxx, planted, tmp)
+        clean_obj = compile_fixture(cxx, clean, tmp)
+        if planted_obj is None or clean_obj is None:
+            return 2
+
+        symbols = undefined_symbols(nm, planted_obj)
+        hit = sorted((symbols or set()) & FORBIDDEN)
+        if "clock_gettime" in hit:
+            print("self-test ok: planted_wallclock.o references %s"
+                  % ", ".join(hit))
+        else:
+            print("SELF-TEST FAIL: planted clock_gettime reference not "
+                  "detected (undefined: %s)" % sorted(symbols or ()))
+            failures += 1
+
+        symbols = undefined_symbols(nm, clean_obj)
+        hit = sorted((symbols or set()) & FORBIDDEN)
+        if hit:
+            print("SELF-TEST FAIL: clean fixture references %s"
+                  % ", ".join(hit))
+            failures += 1
+        else:
+            print("self-test ok: clean_virtual.o references no "
+                  "forbidden symbol")
+
+    if failures:
+        return 2
+    print("audit_symbols self-test passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", help="CMake build tree to audit")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write machine-readable results to PATH")
+    parser.add_argument("--nm", default="nm", help="nm binary to use")
+    parser.add_argument("--self-test", action="store_true",
+                        help="prove the audit on the planted fixtures")
+    parser.add_argument("--cxx", default="c++",
+                        help="C++ compiler for --self-test fixtures")
+    parser.add_argument("--root", default=".",
+                        help="repository root (for --self-test fixtures)")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test(args.cxx, args.nm, args.root)
+    if not args.build_dir:
+        parser.print_usage()
+        print("audit_symbols: --build-dir or --self-test is required")
+        return 2
+    return audit_build(args.build_dir, args.nm, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

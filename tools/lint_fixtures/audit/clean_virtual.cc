@@ -1,0 +1,11 @@
+// Audit fixture (good): pure arithmetic over a virtual tick counter,
+// the way simulator code is supposed to track time. Must produce an
+// object with no forbidden undefined symbols.
+namespace rapid_fixture {
+
+long virtualClockNs(long ticks, long ns_per_tick)
+{
+    return ticks * ns_per_tick;
+}
+
+} // namespace rapid_fixture

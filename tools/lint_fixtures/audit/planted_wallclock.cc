@@ -1,0 +1,17 @@
+// Audit fixture (bad): an object that actually references wall time.
+// audit_symbols --self-test compiles this and must see clock_gettime
+// in the undefined-symbol table. The call goes through a local
+// extern "C" declaration rather than <ctime> so the reference
+// survives any libc fortify/inline games at every optimisation level.
+struct timespec;
+
+extern "C" int clock_gettime(int clock_id, struct timespec *spec);
+
+namespace rapid_fixture {
+
+int plantedWallclockProbe()
+{
+    return clock_gettime(0, nullptr);
+}
+
+} // namespace rapid_fixture

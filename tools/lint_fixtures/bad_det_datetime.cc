@@ -1,0 +1,13 @@
+// Lint fixture: must trip the det-datetime check (and only it).
+// __DATE__/__TIME__ expand to the build's wall clock, so two builds
+// of identical sources disagree in any output that embeds them.
+
+namespace rapid {
+
+const char *
+fixtureBuildStamp()
+{
+    return __DATE__;
+}
+
+} // namespace rapid

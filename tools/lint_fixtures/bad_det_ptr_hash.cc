@@ -1,0 +1,15 @@
+// Lint fixture: must trip the det-ptr-hash check (and only it).
+// Hashing a pointer hashes the allocation address; feeding it into
+// model state or output makes runs disagree.
+#include <cstddef>
+#include <functional>
+
+namespace rapid {
+
+size_t
+fixturePointerHash(const void *p)
+{
+    return std::hash<const void *>{}(p);
+}
+
+} // namespace rapid

@@ -1,0 +1,20 @@
+// Lint fixture: must trip the det-ptr-key check (and only it). A
+// std::map keyed by pointers is ordered by allocation address, so its
+// iteration order differs run to run even though std::map itself is
+// deterministic for value keys.
+#include <map>
+
+namespace rapid {
+
+struct Layer;
+
+int
+fixturePointerKeyedMap(const std::map<const Layer *, int> &costs)
+{
+    int total = 0;
+    for (const auto &entry : costs)
+        total += entry.second;
+    return total;
+}
+
+} // namespace rapid

@@ -1,0 +1,19 @@
+// Lint fixture: must trip the det-unordered check (and only it).
+// Range-iterating an unordered container visits elements in hash/
+// bucket order, which depends on libstdc++ version, seed mixing, and
+// allocation addresses -- one such loop in model code silently breaks
+// the 1-vs-N-thread golden bit-identity contract.
+#include <unordered_map>
+
+namespace rapid {
+
+int
+fixtureUnorderedIteration(const std::unordered_map<int, int> &histogram)
+{
+    int sum = 0;
+    for (const auto &entry : histogram)
+        sum += entry.second;
+    return sum;
+}
+
+} // namespace rapid

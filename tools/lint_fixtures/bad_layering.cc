@@ -1,0 +1,15 @@
+// Lint fixture: must trip the layering check (and only it). The
+// self-test lints this file as src/precision/bad_layering.cc, and
+// precision (tier 1) reaching up into serve (tier 5) is exactly the
+// planted back-edge the declared module DAG exists to reject.
+#include "serve/server_sim.hh"
+
+namespace rapid {
+
+int
+fixtureLayeringBackEdge()
+{
+    return 1;
+}
+
+} // namespace rapid

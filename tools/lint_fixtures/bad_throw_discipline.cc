@@ -1,0 +1,16 @@
+// Lint fixture: must trip the throw-discipline check (and only it).
+// A raw std:: exception thrown from model code sails past the
+// catch (rapid::Error) recovery ladders, so ResilientTrainer would
+// die instead of classifying the failure via e.code().
+#include <stdexcept>
+
+namespace rapid {
+
+void
+fixtureRawThrow(int step)
+{
+    if (step < 0)
+        throw std::runtime_error("negative step");
+}
+
+} // namespace rapid

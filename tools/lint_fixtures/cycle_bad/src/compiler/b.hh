@@ -1,0 +1,14 @@
+// Cycle fixture (bad): the closing edge back into perf/a.hh.
+#ifndef RAPID_COMPILER_B_HH
+#define RAPID_COMPILER_B_HH
+
+#include "perf/a.hh"
+
+namespace rapid {
+struct FixtureB
+{
+    int value = 0;
+};
+} // namespace rapid
+
+#endif // RAPID_COMPILER_B_HH

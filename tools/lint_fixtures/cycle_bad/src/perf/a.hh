@@ -1,0 +1,17 @@
+// Cycle fixture (bad): perf/a.hh and compiler/b.hh include each
+// other. Both edges are tier-legal (perf and compiler share tier 3),
+// so only the cycle passes can reject this tree -- as a file-level
+// include cycle and as a module-level SCC.
+#ifndef RAPID_PERF_A_HH
+#define RAPID_PERF_A_HH
+
+#include "compiler/b.hh"
+
+namespace rapid {
+struct FixtureA
+{
+    int value = 0;
+};
+} // namespace rapid
+
+#endif // RAPID_PERF_A_HH

@@ -1,0 +1,12 @@
+// Cycle fixture (good): a leaf header; nothing includes back.
+#ifndef RAPID_COMPILER_B_HH
+#define RAPID_COMPILER_B_HH
+
+namespace rapid {
+struct FixtureB
+{
+    int value = 0;
+};
+} // namespace rapid
+
+#endif // RAPID_COMPILER_B_HH

@@ -1,0 +1,16 @@
+// Cycle fixture (good): same two files as cycle_bad, same tier-legal
+// perf -> compiler edge, but no edge back -- the cycle passes must
+// stay quiet.
+#ifndef RAPID_PERF_A_HH
+#define RAPID_PERF_A_HH
+
+#include "compiler/b.hh"
+
+namespace rapid {
+struct FixtureA
+{
+    int value = 0;
+};
+} // namespace rapid
+
+#endif // RAPID_PERF_A_HH

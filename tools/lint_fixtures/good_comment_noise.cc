@@ -1,0 +1,49 @@
+// Lint fixture: every check's trigger text, hidden where only a real
+// lexer can see it is not code. The retired regex linter tripped over
+// several of these (raw strings and multi-line block comments
+// especially); the token-level analyzer must report nothing at all.
+//
+// Commented-out violations: assert(x); printf("hi"); rand(); srand(7);
+// std::cout << "x"; std::thread t(f); t.detach(); std::random_device rd;
+// std::mt19937 gen; clock_gettime(CLOCK_MONOTONIC, &ts); gettimeofday(0, 0);
+// std::chrono::steady_clock::now(); catch (...) {} if (x == 1.0f) {}
+// std::unordered_map<int, int> m; std::map<Layer *, int> pm;
+// std::hash<void *> ph; __DATE__ __TIME__ throw std::runtime_error("x");
+// #include "serve/server_sim.hh"
+
+/* A block comment spanning lines:
+   assert(spanning); std::cout << "still a comment";
+   catch (...) { clock_gettime(0, 0); }
+   for (auto &kv : unordered) {} -- std::unordered_set<int> s;
+ */
+
+// A spliced line comment keeps going past the backslash: assert(a); \
+   printf("this physical line is still inside the comment above");
+
+#include <string>
+
+namespace rapid {
+
+inline std::string
+fixtureNoiseStrings()
+{
+    // Ordinary strings with escapes and embedded quotes.
+    std::string s = "assert(x); \"quoted\" printf(1); rand(); "
+                    "std::cout << x; catch (...) {} == 2.5f";
+    s += "std::unordered_map<int, int> in a string; __TIME__";
+    // Raw strings: the old per-line stripper lost track of these.
+    s += R"(assert(raw); std::thread t; clock_gettime(0, 0);)";
+    s += R"delim(
+        multi-line raw string:
+        catch (...) { gettimeofday(0, 0); }
+        std::random_device rd; std::mt19937 gen(rd());
+        throw std::runtime_error("still text");
+        std::hash<void *> h; __DATE__ == 1.0f
+        #include "serve/server_sim.hh"
+    )delim";
+    s += 'c';
+    s += '"'; // a char literal holding a quote must not derail lexing
+    return s;
+}
+
+} // namespace rapid

@@ -1,0 +1,17 @@
+// Lint fixture: the clean counterpart of bad_layering.cc. Linted as
+// src/precision/good_layering.cc; including common (tier 0) from
+// precision (tier 1) follows the declared order, and angle includes
+// are outside the layering contract entirely.
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace rapid {
+
+inline int
+fixtureLayeringDownEdge(const std::vector<int> &v)
+{
+    return int(v.size());
+}
+
+} // namespace rapid

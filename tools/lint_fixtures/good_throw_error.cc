@@ -1,0 +1,23 @@
+// Lint fixture: the clean counterpart of bad_throw_discipline.cc.
+// Constructing a rapid::Error subtype (directly or via the
+// RAPID_CHECK_* macros) and bare rethrow are the two throw shapes
+// recovery ladders can classify, so neither may flag.
+#include "common/error.hh"
+
+namespace rapid {
+
+void
+fixtureDisciplinedThrow(int step)
+{
+    RAPID_CHECK_ARG(step >= 0, "step ", step, " must be non-negative");
+    if (step > 1 << 20)
+        throw Error(ErrorCode::InvalidArgument, __FILE__, __LINE__,
+                    "step out of range");
+    try {
+        RAPID_CHECK_NUMERIC(step != 1, "poisoned step");
+    } catch (const Error &) {
+        throw; // bare rethrow keeps the classified error in flight
+    }
+}
+
+} // namespace rapid

@@ -1,0 +1,13 @@
+"""Entry point so ``python3 tools/rapid_analyzer`` works directly."""
+
+import os
+import sys
+
+# Running a directory puts the package dir itself on sys.path; the
+# package's parent must be there for absolute imports to resolve.
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from rapid_analyzer.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,323 @@
+"""Preprocessor-aware C++ tokenizer for rapid_analyzer.
+
+The lexer implements just enough of translation phases 1-3 (ISO C++
+[lex.phases]) for reliable static analysis:
+
+  - backslash-newline splices are removed (tokens report the physical
+    line the token *starts* on);
+  - // and /* */ comments are stripped; block comments do not nest,
+    exactly as the standard demands, so ``/* /* */`` ends at the first
+    ``*/`` and whatever follows is code again;
+  - string literals, char literals, and raw strings (``R"delim(...)
+    delim"``, including encoding prefixes) become opaque STR/CHAR/
+    RAWSTR tokens whose payload no check ever scans;
+  - ``#include`` directives are lexed into dedicated INCLUDE tokens
+    carrying the header path and quoted-vs-angle flavour; other
+    directives yield a DIRECTIVE token followed by the ordinary tokens
+    of the directive body (so include guards and macro bodies stay
+    visible to checks);
+  - waiver markers (``rapid-lint: allow(check)``) are harvested from
+    comment text and attached to the physical line the comment starts
+    on.
+
+The output is a Lexed bundle of code tokens -- comments never appear
+in the stream, which is precisely what kills the old regex linter's
+false-positive class.
+"""
+
+import re
+from collections import namedtuple
+
+#: One lexed token. kind is one of ID, NUM, STR, CHAR, RAWSTR, PUNCT,
+#: DIRECTIVE (the name token of a non-include directive), or INCLUDE
+#: (text is the header path; system is only meaningful there).
+Token = namedtuple("Token", "kind text line system")
+
+
+def make_token(kind, text, line, system=False):
+    return Token(kind, text, line, system)
+
+
+#: Result of lexing one file: the code-token stream, the per-line
+#: waiver sets ({line: {check, ...}}), and non-fatal diagnostics
+#: (e.g. an unterminated string) as (line, message) pairs.
+Lexed = namedtuple("Lexed", "tokens allows diagnostics")
+
+ALLOW_RE = re.compile(r"rapid-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# Longest-match punctuator table (three- then two-char; anything else
+# is a single-char PUNCT). Only operators a check inspects need to be
+# distinguished, but keeping the real C++ set avoids token smearing
+# like '>>' lexing as '>' '>' in one place and '>>' in another.
+PUNCT3 = ("...", "->*", "<<=", ">>=", "<=>")
+PUNCT2 = ("::", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
+          "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+          "##")
+
+STRING_PREFIXES = {"u8", "u", "U", "L"}
+RAW_PREFIXES = {"R", "u8R", "uR", "UR", "LR"}
+
+IDENT_START = set("abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+IDENT_CONT = IDENT_START | set("0123456789")
+DIGITS = set("0123456789")
+
+
+def _splice(text):
+    """Phase 2: delete backslash-newline pairs, keeping the physical
+    line number of every surviving character. Returns a list of
+    (char, line) pairs."""
+    chars = []
+    line = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n and text[i + 1] == "\n":
+            i += 2
+            line += 1
+            continue
+        # A splice may also be written backslash-CR-LF.
+        if (ch == "\\" and i + 2 < n and text[i + 1] == "\r"
+                and text[i + 2] == "\n"):
+            i += 3
+            line += 1
+            continue
+        chars.append((ch, line))
+        if ch == "\n":
+            line += 1
+        i += 1
+    return chars
+
+
+class _Scanner:
+    """Cursor over the spliced character list."""
+
+    def __init__(self, chars):
+        self.chars = chars
+        self.i = 0
+        self.n = len(chars)
+
+    def eof(self):
+        return self.i >= self.n
+
+    def peek(self, k=0):
+        j = self.i + k
+        return self.chars[j][0] if j < self.n else ""
+
+    def line(self):
+        if self.i < self.n:
+            return self.chars[self.i][1]
+        return self.chars[-1][1] if self.n else 1
+
+    def take(self):
+        ch, line = self.chars[self.i]
+        self.i += 1
+        return ch, line
+
+    def slice_text(self, start, end):
+        return "".join(c for c, _ in self.chars[start:end])
+
+
+def lex(text):
+    """Tokenize one translation unit. Never raises on malformed input:
+    the analyzer must keep scanning a tree that is mid-edit."""
+    sc = _Scanner(_splice(text))
+    tokens = []
+    allows = {}
+    diagnostics = []
+    # True until a non-whitespace token is seen on the current logical
+    # line; a '#' here opens a preprocessor directive.
+    at_line_start = True
+
+    def note_allows(comment_text, line):
+        for match in ALLOW_RE.finditer(comment_text):
+            for name in match.group(1).split(","):
+                allows.setdefault(line, set()).add(name.strip())
+
+    while not sc.eof():
+        ch = sc.peek()
+        line = sc.line()
+
+        if ch == "\n":
+            sc.take()
+            at_line_start = True
+            continue
+        if ch in " \t\r\f\v":
+            sc.take()
+            continue
+
+        # ---- comments --------------------------------------------------
+        if ch == "/" and sc.peek(1) == "/":
+            start = sc.i
+            while not sc.eof() and sc.peek() != "\n":
+                sc.take()
+            note_allows(sc.slice_text(start, sc.i), line)
+            continue
+        if ch == "/" and sc.peek(1) == "*":
+            start = sc.i
+            sc.take()
+            sc.take()
+            closed = False
+            while not sc.eof():
+                if sc.peek() == "*" and sc.peek(1) == "/":
+                    sc.take()
+                    sc.take()
+                    closed = True
+                    break
+                sc.take()
+            if not closed:
+                diagnostics.append((line, "unterminated block comment"))
+            note_allows(sc.slice_text(start, sc.i), line)
+            continue
+
+        # ---- preprocessor directives ----------------------------------
+        if ch == "#" and at_line_start:
+            sc.take()
+            while sc.peek() in " \t":
+                sc.take()
+            name_start = sc.i
+            while sc.peek() in IDENT_CONT:
+                sc.take()
+            name = sc.slice_text(name_start, sc.i)
+            if name == "include":
+                _lex_include(sc, tokens, line, diagnostics)
+            elif name:
+                tokens.append(make_token("DIRECTIVE", name, line))
+            at_line_start = False
+            continue
+
+        at_line_start = False
+
+        # ---- identifiers (and string/char prefixes) --------------------
+        if ch in IDENT_START:
+            start = sc.i
+            while sc.peek() in IDENT_CONT:
+                sc.take()
+            ident = sc.slice_text(start, sc.i)
+            nxt = sc.peek()
+            if ident in RAW_PREFIXES and nxt == '"':
+                _lex_raw_string(sc, tokens, line, diagnostics)
+                continue
+            if ident in STRING_PREFIXES and nxt in "\"'":
+                kind = "STR" if nxt == '"' else "CHAR"
+                _lex_quoted(sc, tokens, line, diagnostics, kind)
+                continue
+            tokens.append(make_token("ID", ident, line))
+            continue
+
+        # ---- numbers ---------------------------------------------------
+        if ch in DIGITS or (ch == "." and sc.peek(1) in DIGITS):
+            start = sc.i
+            sc.take()
+            while not sc.eof():
+                c = sc.peek()
+                if c in IDENT_CONT or c == ".":
+                    sc.take()
+                elif c == "'" and sc.peek(1) in IDENT_CONT:
+                    sc.take()  # digit separator
+                elif c in "+-" and sc.slice_text(sc.i - 1, sc.i) in "eEpP":
+                    sc.take()  # exponent sign
+                else:
+                    break
+            tokens.append(
+                make_token("NUM", sc.slice_text(start, sc.i), line))
+            continue
+
+        # ---- string / char literals ------------------------------------
+        if ch == '"':
+            _lex_quoted(sc, tokens, line, diagnostics, "STR")
+            continue
+        if ch == "'":
+            _lex_quoted(sc, tokens, line, diagnostics, "CHAR")
+            continue
+
+        # ---- punctuators -----------------------------------------------
+        three = sc.slice_text(sc.i, sc.i + 3)
+        if three in PUNCT3:
+            sc.take()
+            sc.take()
+            sc.take()
+            tokens.append(make_token("PUNCT", three, line))
+            continue
+        two = sc.slice_text(sc.i, sc.i + 2)
+        if two in PUNCT2:
+            sc.take()
+            sc.take()
+            tokens.append(make_token("PUNCT", two, line))
+            continue
+        sc.take()
+        tokens.append(make_token("PUNCT", ch, line))
+
+    return Lexed(tokens, allows, diagnostics)
+
+
+def _lex_include(sc, tokens, line, diagnostics):
+    """Lex the header-name after ``#include``: "path" or <path>."""
+    while sc.peek() in " \t":
+        sc.take()
+    ch = sc.peek()
+    if ch == '"' or ch == "<":
+        close = '"' if ch == '"' else ">"
+        sc.take()
+        start = sc.i
+        while not sc.eof() and sc.peek() not in (close, "\n"):
+            sc.take()
+        path = sc.slice_text(start, sc.i)
+        if sc.peek() == close:
+            sc.take()
+        else:
+            diagnostics.append((line, "unterminated #include header-name"))
+        tokens.append(make_token("INCLUDE", path, line, system=close == ">"))
+    else:
+        # Computed include (#include MACRO): keep the directive marker
+        # so the file is not silently missing an edge.
+        tokens.append(make_token("DIRECTIVE", "include", line))
+
+
+def _lex_quoted(sc, tokens, line, diagnostics, kind):
+    """Lex an ordinary (escaped, single-logical-line) literal."""
+    quote, _ = sc.take()
+    while not sc.eof():
+        c = sc.peek()
+        if c == "\\":
+            sc.take()
+            if not sc.eof():
+                sc.take()
+            continue
+        if c == quote:
+            sc.take()
+            tokens.append(make_token(kind, "", line))
+            return
+        if c == "\n":
+            break
+        sc.take()
+    diagnostics.append((line, "unterminated %s literal"
+                        % ("string" if kind == "STR" else "character")))
+    tokens.append(make_token(kind, "", line))
+
+
+def _lex_raw_string(sc, tokens, line, diagnostics):
+    """Lex R"delim( ... )delim"; the payload may span lines and is
+    entirely opaque to checks."""
+    sc.take()  # opening quote
+    delim_start = sc.i
+    while not sc.eof() and sc.peek() not in "(\n" and sc.i - delim_start < 20:
+        sc.take()
+    if sc.peek() != "(":
+        diagnostics.append((line, "malformed raw-string delimiter"))
+        tokens.append(make_token("RAWSTR", "", line))
+        return
+    delim = sc.slice_text(delim_start, sc.i)
+    sc.take()  # '('
+    close = ")" + delim + '"'
+    width = len(close)
+    while not sc.eof():
+        if sc.peek() == ")" and sc.slice_text(sc.i, sc.i + width) == close:
+            for _ in range(width):
+                sc.take()
+            tokens.append(make_token("RAWSTR", "", line))
+            return
+        sc.take()
+    diagnostics.append((line, "unterminated raw string"))
+    tokens.append(make_token("RAWSTR", "", line))

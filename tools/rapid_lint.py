@@ -1,321 +1,23 @@
 #!/usr/bin/env python3
-"""RaPiD project lint: invariants generic tools cannot enforce.
+"""Compatibility shim: the per-line regex linter grew into the
+token-level analyzer package at tools/rapid_analyzer/ (a real C++
+lexer, an include graph with the declared module layering DAG, and
+determinism/throw-discipline passes on top of the original nine
+checks). The command-line contract is unchanged:
 
-Checks
-  raw-assert      no raw assert(); use rapid_assert / rapid_dassert
-  io-outside-log  no printf/std::cout outside src/common/{logging,table}
-  no-rand         no rand()/srand()/std::rand; use common/random.hh Rng
-  float-eq        no ==/!= against float literals in src/precision
-                  (the compiler's -Wfloat-equal on that target is the
-                  authoritative backstop for variable-vs-variable cases)
-  include-guard   headers under src/ guard with RAPID_<DIR>_<FILE>_HH
-  no-raw-thread   no std::thread/std::jthread/pthread_create/.detach()
-                  outside src/common/parallel.*; all parallelism goes
-                  through the deterministic rapid::ThreadPool
-  no-unseeded-rng no std::random_device anywhere, and no raw <random>
-                  engines outside src/common/random.*; all randomness
-                  (fault injection especially) derives from fixed
-                  seeds through rapid::Rng so runs are reproducible
-  no-wallclock    no std::chrono::*_clock::now / gettimeofday /
-                  clock_gettime outside src/common/parallel.* and the
-                  sweepMain timing harness (src/common/sweep.*); model
-                  results run on the deterministic virtual clock, and
-                  a stray wall-clock read is how nondeterminism sneaks
-                  into golden-diffed output
-  no-bare-catch   no catch (...) outside src/common/parallel.* (the
-                  pool must ferry unknown exceptions across threads);
-                  recovery code catches rapid::Error and switches on
-                  its ErrorCode, so a numeric fault is never silently
-                  conflated with a logic bug
+    python3 tools/rapid_lint.py --root <repo> [--json findings.json]
+    python3 tools/rapid_lint.py --root <repo> --self-test
 
-A finding on a given line can be waived with a trailing comment:
-    // rapid-lint: allow(<check-name>)
-
-Exit status: 0 when clean, 1 when any violation is reported, 2 on a
-self-test failure.
+See tools/rapid_analyzer/__init__.py for the check catalog and the
+waiver syntax (// rapid-lint: allow(<check-name>)).
 """
 
-import argparse
-import re
+import os
 import sys
-from pathlib import Path
 
-CXX_EXTENSIONS = {".cc", ".cpp", ".hh", ".h"}
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-# Directories scanned for C++ sources, relative to the repo root.
-SCAN_DIRS = ["src", "tests", "bench", "examples"]
-
-# Files allowed to talk to stdio directly: the logging sinks and the
-# table renderer that exists to print reproduction tables.
-IO_ALLOWED = ("src/common/logging.", "src/common/table.")
-
-ALLOW_RE = re.compile(r"rapid-lint:\s*allow\(([a-z-]+)\)")
-
-RAW_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
-IO_RE = re.compile(
-    r"(?<![A-Za-z0-9_:])(?:printf|fprintf|puts|putchar)\s*\("
-    r"|std::(?:cout|cerr|printf)")
-RAND_RE = re.compile(r"(?<![A-Za-z0-9_])(?:std::)?s?rand\s*\(")
-FLOAT_LIT = r"[0-9]+\.[0-9]*(?:[eE][-+]?[0-9]+)?f?|\.[0-9]+f?|[0-9]+f"
-FLOAT_EQ_RE = re.compile(
-    r"[=!]=\s*[-+]?(?:{lit})(?![A-Za-z0-9_.])"
-    r"|(?:{lit})\s*[=!]=".format(lit=FLOAT_LIT))
-GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\S+)", re.M)
-THREAD_RE = re.compile(
-    r"std::(?:thread|jthread)\b"
-    r"|(?<![A-Za-z0-9_])pthread_create\s*\("
-    r"|\.detach\s*\(")
-
-# The one place allowed to own raw threads: the deterministic pool.
-THREAD_ALLOWED = ("src/common/parallel.",)
-
-RANDOM_DEVICE_RE = re.compile(r"std::random_device\b")
-RNG_ENGINE_RE = re.compile(
-    r"std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine"
-    r"|ranlux\d+(?:_base)?|knuth_b|subtract_with_carry_engine"
-    r"|linear_congruential_engine|mersenne_twister_engine)\b")
-
-# The one place allowed to own a raw RNG engine: the seeded Rng.
-RNG_ALLOWED = ("src/common/random.",)
-
-WALLCLOCK_RE = re.compile(
-    r"std::chrono::\w*_clock::now\b"
-    r"|(?<![A-Za-z0-9_])(?:gettimeofday|clock_gettime)\s*\(")
-
-# The places allowed to read wall time: the thread pool's idle waits
-# and the sweepMain harness that reports bench wall-clock timings
-# (which go to the RAPID_SWEEP_JSON side channel, never to stdout).
-WALLCLOCK_ALLOWED = ("src/common/parallel.", "src/common/sweep.")
-
-BARE_CATCH_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
-
-# The one place allowed to catch everything: the thread pool, which
-# must transport arbitrary exceptions from worker threads back to the
-# submitting thread.
-BARE_CATCH_ALLOWED = ("src/common/parallel.",)
-
-
-def strip_noise(line):
-    """Drop string/char literals and // comments so patterns inside
-    them do not trip the checks. Keeps the rapid-lint allow marker
-    visible by checking it before stripping."""
-    out = []
-    i = 0
-    n = len(line)
-    while i < n:
-        ch = line[i]
-        if ch == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        if ch in "\"'":
-            quote = ch
-            i += 1
-            while i < n:
-                if line[i] == "\\":
-                    i += 2
-                    continue
-                if line[i] == quote:
-                    break
-                i += 1
-            i += 1
-            out.append(quote + quote)
-            continue
-        out.append(ch)
-        i += 1
-    return "".join(out)
-
-
-class Linter:
-    def __init__(self, root):
-        self.root = Path(root)
-        self.findings = []
-
-    def report(self, path, lineno, check, message):
-        self.findings.append((str(path), lineno, check, message))
-
-    def lint_file(self, path, rel):
-        try:
-            text = path.read_text(errors="replace")
-        except OSError as err:
-            self.report(rel, 0, "read-error", str(err))
-            return
-        in_block_comment = False
-        for lineno, raw in enumerate(text.splitlines(), 1):
-            allowed = set(ALLOW_RE.findall(raw))
-            line = raw
-            if in_block_comment:
-                end = line.find("*/")
-                if end < 0:
-                    continue
-                line = line[end + 2:]
-                in_block_comment = False
-            # Remove complete /* ... */ runs, then detect an opener.
-            line = re.sub(r"/\*.*?\*/", " ", line)
-            start = line.find("/*")
-            if start >= 0:
-                line = line[:start]
-                in_block_comment = True
-            line = strip_noise(line)
-            self.check_line(rel, lineno, line, allowed)
-        if rel.suffix in (".hh", ".h") and rel.parts[0] == "src":
-            self.check_guard(rel, text)
-
-    def check_line(self, rel, lineno, line, allowed):
-        posix = rel.as_posix()
-        if "raw-assert" not in allowed and RAW_ASSERT_RE.search(line):
-            self.report(posix, lineno, "raw-assert",
-                        "use rapid_assert/rapid_dassert instead of "
-                        "raw assert()")
-        if ("io-outside-log" not in allowed and posix.startswith("src/")
-                and not posix.startswith(IO_ALLOWED)
-                and IO_RE.search(line)):
-            self.report(posix, lineno, "io-outside-log",
-                        "direct stdio outside src/common/logging and "
-                        "src/common/table; use rapid_inform/rapid_warn "
-                        "or the table renderer")
-        if "no-rand" not in allowed and RAND_RE.search(line):
-            self.report(posix, lineno, "no-rand",
-                        "use the seeded rapid::Rng from "
-                        "common/random.hh, not rand()/srand()")
-        if ("no-raw-thread" not in allowed
-                and not posix.startswith(THREAD_ALLOWED)
-                and THREAD_RE.search(line)):
-            self.report(posix, lineno, "no-raw-thread",
-                        "raw thread primitive outside "
-                        "src/common/parallel.*; use rapid::parallelFor "
-                        "or rapid::ThreadPool so sweeps stay "
-                        "deterministic")
-        if ("no-unseeded-rng" not in allowed
-                and (RANDOM_DEVICE_RE.search(line)
-                     or (not posix.startswith(RNG_ALLOWED)
-                         and RNG_ENGINE_RE.search(line)))):
-            self.report(posix, lineno, "no-unseeded-rng",
-                        "unseeded or raw randomness; derive a seeded "
-                        "rapid::Rng via common/random.hh (mixSeed for "
-                        "per-item streams) so fault injection and "
-                        "sweeps replay bit-identically")
-        if ("no-wallclock" not in allowed
-                and not posix.startswith(WALLCLOCK_ALLOWED)
-                and WALLCLOCK_RE.search(line)):
-            self.report(posix, lineno, "no-wallclock",
-                        "wall-clock read outside src/common/parallel.* "
-                        "and src/common/sweep.*; simulators and benches "
-                        "run on the virtual clock so output stays "
-                        "bit-identical across runs and thread counts")
-        if ("no-bare-catch" not in allowed
-                and not posix.startswith(BARE_CATCH_ALLOWED)
-                and BARE_CATCH_RE.search(line)):
-            self.report(posix, lineno, "no-bare-catch",
-                        "catch (...) swallows the error taxonomy; "
-                        "catch rapid::Error and switch on e.code() so "
-                        "numeric faults stay distinguishable from "
-                        "logic bugs")
-        if ("float-eq" not in allowed and posix.startswith("src/precision/")
-                and FLOAT_EQ_RE.search(line)):
-            self.report(posix, lineno, "float-eq",
-                        "floating-point ==/!= in the precision layer; "
-                        "compare bit patterns or use std::fpclassify")
-
-    def check_guard(self, rel, text):
-        parts = [p.upper().replace("-", "_") for p in rel.parts[1:]]
-        stem = Path(parts[-1]).stem
-        want = "RAPID_" + "_".join(parts[:-1] + [stem]) + "_HH"
-        match = GUARD_IFNDEF_RE.search(text)
-        posix = rel.as_posix()
-        if not match:
-            self.report(posix, 1, "include-guard",
-                        "missing include guard, expected " + want)
-            return
-        got = match.group(1)
-        if got != want:
-            self.report(posix, 1, "include-guard",
-                        "include guard %s, expected %s" % (got, want))
-            return
-        if not re.search(r"^\s*#\s*define\s+%s\b" % re.escape(want),
-                         text, re.M):
-            self.report(posix, 1, "include-guard",
-                        "guard %s is never #defined" % want)
-
-    def run(self):
-        for top in SCAN_DIRS:
-            base = self.root / top
-            if not base.is_dir():
-                continue
-            for path in sorted(base.rglob("*")):
-                if path.suffix not in CXX_EXTENSIONS:
-                    continue
-                if "lint_fixtures" in path.parts:
-                    continue
-                self.lint_file(path, path.relative_to(self.root))
-        return self.findings
-
-
-# --------------------------------------------------------------------------
-# Self-test: every fixture under tools/lint_fixtures/bad_* must trip
-# exactly its named check; good_* fixtures must stay clean.
-# --------------------------------------------------------------------------
-
-def self_test(root):
-    fixtures = Path(root) / "tools" / "lint_fixtures"
-    if not fixtures.is_dir():
-        print("rapid_lint self-test: no fixtures at %s" % fixtures)
-        return 2
-    failures = 0
-    for path in sorted(fixtures.iterdir()):
-        if path.suffix not in CXX_EXTENSIONS:
-            continue
-        linter = Linter(root)
-        linter.lint_file(path, Path("src/precision") / path.name)
-        checks = {f[2] for f in linter.findings}
-        if path.name.startswith("bad_"):
-            expect = path.stem[len("bad_"):].replace("_", "-")
-            if expect not in checks:
-                print("SELF-TEST FAIL: %s did not trip %s (got %s)"
-                      % (path.name, expect, sorted(checks) or "nothing"))
-                failures += 1
-            else:
-                print("self-test ok: %s trips %s" % (path.name, expect))
-        elif path.name.startswith("good_"):
-            # The fixture is linted as if it lived in src/precision, so
-            # every check applies; a clean file must stay clean.
-            if checks:
-                print("SELF-TEST FAIL: %s tripped %s"
-                      % (path.name, sorted(checks)))
-                failures += 1
-            else:
-                print("self-test ok: %s is clean" % path.name)
-    if failures:
-        return 2
-    print("rapid_lint self-test passed")
-    return 0
-
-
-def main(argv):
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", default=".",
-                        help="repository root to lint")
-    parser.add_argument("--self-test", action="store_true",
-                        help="run the lint tool against its fixtures")
-    args = parser.parse_args(argv)
-
-    if args.self_test:
-        return self_test(args.root)
-
-    root = Path(args.root)
-    if not any((root / top).is_dir() for top in SCAN_DIRS):
-        print("rapid_lint: no source directories under %s "
-              "(expected one of: %s)" % (root, ", ".join(SCAN_DIRS)))
-        return 2
-
-    linter = Linter(args.root)
-    findings = linter.run()
-    for path, lineno, check, message in findings:
-        print("%s:%d: [%s] %s" % (path, lineno, check, message))
-    if findings:
-        print("rapid_lint: %d violation(s)" % len(findings))
-        return 1
-    print("rapid_lint: clean")
-    return 0
-
+from rapid_analyzer.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main(sys.argv[1:]))
