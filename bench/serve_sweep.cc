@@ -20,9 +20,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "common/sweep.hh"
 #include "common/table.hh"
 #include "serve/metrics.hh"
@@ -34,6 +36,24 @@ using namespace rapid;
 namespace {
 
 constexpr int64_t kMs = 1'000'000; ///< ns per millisecond
+
+/**
+ * Build one ServeSim per config (latency tables compile in parallel)
+ * and advance the whole scenario grid concurrently as independent
+ * domains of one DES engine; results gather in config order.
+ */
+std::vector<ServeResult>
+runGrid(const ChipConfig &chip, const std::vector<ServeConfig> &cfgs)
+{
+    const auto sims = parallelMap(cfgs.size(), [&](size_t i) {
+        return std::make_unique<ServeSim>(chip, cfgs[i]);
+    });
+    std::vector<const ServeSim *> ptrs;
+    ptrs.reserve(sims.size());
+    for (const auto &s : sims)
+        ptrs.push_back(s.get());
+    return runServeBatch(ptrs);
+}
 
 /** Append one JSON record when RAPID_SERVE_JSON is set. */
 void
@@ -117,12 +137,20 @@ rampSection(const char *title, const char *section,
     Table t(hdr);
     const double loads[] = {250, 500, 1000, 1500, 2000, 2500, 3000,
                             4000};
+    // One simulation per (load, policy) grid point; the whole ramp
+    // advances in parallel, rows print in the original order.
+    std::vector<ServeConfig> cfgs;
+    for (double rps : loads)
+        for (const Policy &policy : kPolicies)
+            cfgs.push_back(rampScenario(rps, policy));
+    const std::vector<ServeResult> results = runGrid(chip, cfgs);
+    size_t point = 0;
     for (double rps : loads) {
         std::vector<std::string> row = {Table::fmt(rps, 0)};
         for (const Policy &policy : kPolicies) {
-            const ServeConfig cfg = rampScenario(rps, policy);
-            const ServeSim sim(chip, cfg);
-            const ServeMetrics m = computeMetrics(cfg, sim.run());
+            const ServeMetrics m =
+                computeMetrics(cfgs[point], results[point]);
+            ++point;
             row.push_back(Table::fmt(m.total.goodput_rps, 1));
             row.push_back(
                 m.total.offered
@@ -190,14 +218,24 @@ batcherKnobSection()
              "p50 ms", "p99 ms"});
     const int64_t batches[] = {1, 4, 8, 16};
     const int64_t waits_ns[] = {kMs / 2, 2 * kMs, 8 * kMs};
+    std::vector<ServeConfig> cfgs;
     for (int64_t mb : batches) {
         for (int64_t wait : waits_ns) {
             ServeConfig cfg = rampScenario(1500.0, kPolicies[0]);
             cfg.tenants[0].deadline_ns = 20 * kMs;
             cfg.batcher.max_batch = mb;
             cfg.batcher.max_wait_ns = wait;
-            const ServeSim sim(makeInferenceChip(), cfg);
-            const ServeMetrics m = computeMetrics(cfg, sim.run());
+            cfgs.push_back(cfg);
+        }
+    }
+    const std::vector<ServeResult> results =
+        runGrid(makeInferenceChip(), cfgs);
+    size_t point = 0;
+    for (int64_t mb : batches) {
+        for (int64_t wait : waits_ns) {
+            const ServeMetrics m =
+                computeMetrics(cfgs[point], results[point]);
+            ++point;
             t.addRow({std::to_string(mb),
                       Table::fmt(double(wait) * 1e-6, 1),
                       Table::fmt(m.total.goodput_rps, 1),
@@ -220,13 +258,19 @@ faultTailSection()
                 "at 2000 req/s, parity protection (retry 64) ===\n\n");
     Table t({"Fault scenario", "Goodput/s", "Shed", "p50 ms", "p99 ms",
              "mJ/req"});
+    std::vector<ServeConfig> cfgs;
     for (double rate : {0.0, 5e-8, 2e-7}) {
         ServeConfig cfg = rampScenario(2000.0, kPolicies[0]);
         cfg.fault = FaultConfig::withRate(rate);
         if (rate > 0.0)
             cfg.fault.protectAll(parityProtection(64.0));
-        const ServeSim sim(makeInferenceChip(), cfg);
-        const ServeMetrics m = computeMetrics(cfg, sim.run());
+        cfgs.push_back(cfg);
+    }
+    const std::vector<ServeResult> results =
+        runGrid(makeInferenceChip(), cfgs);
+    for (size_t point = 0; point < cfgs.size(); ++point) {
+        const ServeConfig &cfg = cfgs[point];
+        const ServeMetrics m = computeMetrics(cfg, results[point]);
         t.addRow({faultConfigSummary(cfg.fault),
                   Table::fmt(m.total.goodput_rps, 1),
                   m.total.offered

@@ -8,11 +8,20 @@ RAPID_SWEEP_JSON ({"figure": ..., "threads": ..., "wall_seconds":
 own single-thread run when one exists, writes the merged records to
 BENCH_sweeps.json, and prints a per-figure timing table.
 
+A figure named via --require that has no record in the raw log is a
+hard failure naming the missing figure (matching
+assemble_resilience.py): a silently absent row would read as "this
+sweep was timed" when it never ran.
+
 Usage: assemble_sweeps.py <raw-jsonl> [<output-json>]
+           [--require fig1,fig2,...]
+       assemble_sweeps.py --self-test
 """
 
 import json
+import os
 import sys
+import tempfile
 
 
 def load_records(path):
@@ -33,16 +42,23 @@ def load_records(path):
     return records
 
 
-def main(argv):
-    if len(argv) not in (2, 3):
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    raw_path = argv[1]
-    out_path = argv[2] if len(argv) == 3 else "BENCH_sweeps.json"
+def check_required(records, required, raw_path):
+    present = {fig for fig, _ in records}
+    missing = [fig for fig in required if fig not in present]
+    if missing:
+        raise SystemExit(
+            f"{raw_path}: missing sweep records for figures: "
+            + ", ".join(missing)
+            + " (the bench run that should have appended them never "
+            "completed)"
+        )
 
+
+def assemble(raw_path, out_path, required):
     records = load_records(raw_path)
     if not records:
         raise SystemExit(f"{raw_path}: no sweep records found")
+    check_required(records, required, raw_path)
 
     baselines = {
         fig: secs for (fig, thr), secs in records.items() if thr == 1
@@ -72,6 +88,75 @@ def main(argv):
         print(f"{entry['figure']:<{width}}{entry['threads']:>8}"
               f"{entry['wall_seconds']:>12.3f}{speedup_s:>10}")
     print(f"\nwrote {out_path} ({len(merged)} records)")
+
+
+def self_test():
+    """Fixture check: --require passes on present figures and hard-
+    fails naming the absent one."""
+    fixture = [
+        {"figure": "fig_a", "threads": 1, "wall_seconds": 2.0},
+        {"figure": "fig_a", "threads": 4, "wall_seconds": 0.5},
+        {"figure": "fig_b", "threads": 4, "wall_seconds": 1.0},
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = os.path.join(tmp, "raw.jsonl")
+        out = os.path.join(tmp, "out.json")
+        with open(raw, "w", encoding="utf-8") as fh:
+            for rec in fixture:
+                fh.write(json.dumps(rec) + "\n")
+
+        assemble(raw, out, ["fig_a", "fig_b"])
+        with open(out, "r", encoding="utf-8") as fh:
+            merged = json.load(fh)
+        assert len(merged) == 3, merged
+        by_key = {(e["figure"], e["threads"]): e for e in merged}
+        speedup = by_key[("fig_a", 4)]["speedup_vs_1thread"]
+        assert abs(speedup - 4.0) < 1e-9, speedup
+
+        try:
+            assemble(raw, out, ["fig_a", "fig_missing"])
+        except SystemExit as exc:
+            message = str(exc)
+            assert "fig_missing" in message, message
+            assert "fig_a" not in message.split(":")[-1], message
+        else:
+            raise SystemExit(
+                "self-test: a missing required figure did not fail"
+            )
+
+        empty = os.path.join(tmp, "empty.jsonl")
+        open(empty, "w", encoding="utf-8").close()
+        try:
+            assemble(empty, out, [])
+        except SystemExit as exc:
+            assert "no sweep records" in str(exc), exc
+        else:
+            raise SystemExit("self-test: empty input did not fail")
+
+    print("assemble_sweeps.py self-test passed")
+
+
+def main(argv):
+    args = list(argv[1:])
+    if args == ["--self-test"]:
+        self_test()
+        return 0
+
+    required = []
+    if "--require" in args:
+        idx = args.index("--require")
+        if idx + 1 >= len(args):
+            raise SystemExit("--require needs a comma-separated list "
+                             "of figure names")
+        required = [f for f in args[idx + 1].split(",") if f]
+        del args[idx:idx + 2]
+
+    if len(args) not in (1, 2):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    raw_path = args[0]
+    out_path = args[1] if len(args) == 2 else "BENCH_sweeps.json"
+    assemble(raw_path, out_path, required)
     return 0
 
 

@@ -40,17 +40,24 @@ rm -f "$RAPID_SWEEP_JSON" "$RAPID_SERVE_JSON" "$RAPID_RESILIENCE_JSON"
  done) 2>&1 | tee bench_output.txt || fail "bench figures"
 
 # Single-thread baselines for the heavier sweeps so the timing report
-# can show the parallel speedup.
-for fig in fig13_inference_latency fig14_inference_efficiency \
-           fig15_training_throughput fault_sweep serve_sweep \
-           resilience_sweep; do
+# can show the parallel speedup, plus an 8-thread serve_sweep point
+# for the DES engine's scaling record.
+HEAVY_SWEEPS="fig13_inference_latency fig14_inference_efficiency \
+fig15_training_throughput fault_sweep serve_sweep resilience_sweep"
+for fig in $HEAVY_SWEEPS; do
     build/bench/"$fig" --threads 1 > /dev/null || fail "$fig baseline"
 done
+build/bench/serve_sweep --threads 8 > /dev/null \
+    || fail "serve_sweep 8-thread point"
 
 echo
 echo "===== per-figure sweep timing"
+# --require makes a sweep that died before appending its record a
+# hard failure naming the figure, instead of a silently missing row.
 python3 scripts/assemble_sweeps.py "$RAPID_SWEEP_JSON" \
-    BENCH_sweeps.json || fail "sweep timing report"
+    BENCH_sweeps.json \
+    --require "$(echo $HEAVY_SWEEPS | tr ' ' ',')" \
+    || fail "sweep timing report"
 
 echo
 echo "===== serving goodput knees"

@@ -26,6 +26,16 @@
  * times, head timeouts, and batch completions, all integer
  * nanoseconds derived from the frozen LatencyTable. No wall-clock
  * reads anywhere (machine-enforced by the no-wallclock lint check).
+ *
+ * Execution engine: run() expresses the simulation as typed events
+ * (arrival < completion < head-timeout at one instant) on a
+ * rapid::DesDomain, and runServeBatch() packs many independent
+ * simulations as domains of one DesEngine so a sweep's scenario grid
+ * advances in parallel on the shared ThreadPool — bit-identical to
+ * serial at any --threads N. runReference() keeps the original
+ * single-loop scheduler as the executable specification; the
+ * engine-equivalence tests in tests/test_serve.cc hold run() exactly
+ * equal to it, field for field.
  */
 
 #ifndef RAPID_SERVE_SERVER_SIM_HH
@@ -119,8 +129,19 @@ class ServeSim
         return network_names_;
     }
 
-    /** Generate the trace and run it to drain on the virtual clock. */
+    /**
+     * Generate the trace and run it to drain on the virtual clock,
+     * event-driven on the DES engine (a single domain; use
+     * runServeBatch to advance many simulations in parallel).
+     */
     ServeResult run() const;
+
+    /**
+     * The original serial scheduler loop, kept verbatim as the
+     * executable specification of the serving semantics. run() must
+     * produce bit-identical results; tests enforce it.
+     */
+    ServeResult runReference() const;
 
   private:
     // Declaration order is construction order: the network mapping
@@ -132,6 +153,16 @@ class ServeSim
     std::vector<Network> networks_;
     LatencyTable table_;
 };
+
+/**
+ * Run many independent serving simulations as domains of one
+ * DesEngine: workload generation and the event loops advance in
+ * parallel on the shared ThreadPool, results gather by index, and
+ * every entry is bit-identical to sims[i]->run() at any thread
+ * count. Throws rapid::Error on a null entry.
+ */
+std::vector<ServeResult> runServeBatch(
+    const std::vector<const ServeSim *> &sims);
 
 } // namespace rapid
 

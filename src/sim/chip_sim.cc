@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
+#include "common/des.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 
@@ -181,10 +183,24 @@ std::vector<ChipRunStats>
 ChipSim::runBatch(const std::vector<LayerProgram> &progs,
                   Tick lrf_load_cycles) const
 {
-    return parallelMap(progs.size(), [&](size_t i) {
-        ChipSim sim(numCores_, multicast_, mniCfg_);
-        return sim.run(progs[i], lrf_load_cycles);
-    });
+    // One DES domain per batch entry; each runs its whole chip
+    // simulation as a single event at t=0 (the chip's own EventQueue
+    // is the cycle-accurate micro-engine inside the domain). The
+    // domains are independent — no channels — so the engine executes
+    // the batch as one fully parallel window on the shared pool.
+    DesEngine engine;
+    std::vector<ChipRunStats> out(progs.size());
+    for (size_t i = 0; i < progs.size(); ++i) {
+        const DomainId id =
+            engine.addDomain("chip" + std::to_string(i));
+        engine.domain(id).schedule(0, 0, [this, &out, &progs, i,
+                                          lrf_load_cycles] {
+            ChipSim sim(numCores_, multicast_, mniCfg_);
+            out[i] = sim.run(progs[i], lrf_load_cycles);
+        });
+    }
+    engine.run();
+    return out;
 }
 
 } // namespace rapid

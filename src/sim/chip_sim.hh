@@ -77,9 +77,10 @@ class ChipSim
      * Within one simulated cycle the cores all share the MNI fabric
      * and the memory node, so the safe (and deterministic) batch axis
      * is across simulations, not across cores inside one: each batch
-     * entry gets its own event queue and fabric, tasks share no
-     * mutable state, and results gather by index. Output is
-     * bit-identical to calling run() in a loop.
+     * entry becomes a domain of one rapid::DesEngine (its gem5-style
+     * per-chip EventQueue stays the cycle-level micro-engine inside
+     * the domain), domains share no mutable state, and results gather
+     * by index. Output is bit-identical to calling run() in a loop.
      */
     std::vector<ChipRunStats> runBatch(
         const std::vector<LayerProgram> &progs,

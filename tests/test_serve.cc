@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 
 #include "common/error.hh"
 #include "common/parallel.hh"
@@ -443,6 +444,114 @@ TEST_F(ServeTest, RejectsAllDeadChip)
     ChipConfig chip = makeInferenceChip();
     chip.dead_core_mask = 0xf; // all four cores gone
     EXPECT_THROW(ServeSim(chip, cfg), Error);
+}
+
+// ---------------------------------------------------------------------
+// DES-engine equivalence: the event-driven path must reproduce the
+// reference serial scheduler bit for bit.
+// ---------------------------------------------------------------------
+
+/** Field-by-field exact equality, doubles compared bitwise-equal. */
+void
+expectResultsIdentical(const ServeResult &a, const ServeResult &b)
+{
+    EXPECT_EQ(a.horizon_ns, b.horizon_ns);
+    EXPECT_EQ(a.end_ns, b.end_ns);
+    EXPECT_EQ(a.queue_depth_integral, b.queue_depth_integral);
+    EXPECT_EQ(a.max_queue_depth, b.max_queue_depth);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (size_t i = 0; i < a.requests.size(); ++i) {
+        const RequestRecord &ra = a.requests[i];
+        const RequestRecord &rb = b.requests[i];
+        EXPECT_EQ(ra.id, rb.id);
+        EXPECT_EQ(ra.tenant, rb.tenant);
+        EXPECT_EQ(ra.precision, rb.precision);
+        EXPECT_EQ(ra.arrival_ns, rb.arrival_ns);
+        EXPECT_EQ(ra.launch_ns, rb.launch_ns) << "request " << i;
+        EXPECT_EQ(ra.completion_ns, rb.completion_ns);
+        EXPECT_EQ(ra.predicted_ns, rb.predicted_ns);
+        EXPECT_EQ(ra.shed, rb.shed);
+    }
+    ASSERT_EQ(a.batches.size(), b.batches.size());
+    for (size_t i = 0; i < a.batches.size(); ++i) {
+        const BatchRecord &ba = a.batches[i];
+        const BatchRecord &bb = b.batches[i];
+        EXPECT_EQ(ba.network, bb.network);
+        EXPECT_EQ(ba.precision, bb.precision);
+        EXPECT_EQ(ba.size, bb.size);
+        EXPECT_EQ(ba.launch_ns, bb.launch_ns) << "batch " << i;
+        EXPECT_EQ(ba.completion_ns, bb.completion_ns);
+        EXPECT_EQ(ba.energy_j, bb.energy_j);
+        EXPECT_EQ(ba.forced_by_timeout, bb.forced_by_timeout);
+    }
+}
+
+/** The scenario mix the equivalence tests replay: single tenant near
+ *  the knee, a multi-tenant bursty mix with a quality floor, and a
+ *  fault-retry configuration. */
+std::vector<ServeConfig>
+equivalenceScenarios()
+{
+    std::vector<ServeConfig> cfgs;
+    cfgs.push_back(singleTenantConfig(2000.0));
+    {
+        ServeConfig cfg = singleTenantConfig(1200.0, 20 * kMs);
+        TenantConfig bg = cfg.tenants[0];
+        bg.name = "bg";
+        bg.network = "mobilenetv1";
+        bg.pattern = ArrivalPattern::Bursty;
+        bg.deadline_ns = 8 * kMs;
+        cfg.tenants.push_back(bg);
+        TenantConfig premium = cfg.tenants[0];
+        premium.name = "premium";
+        premium.arrival_rps = 100.0;
+        premium.min_precision = Precision::HFP8;
+        cfg.tenants.push_back(premium);
+        cfgs.push_back(cfg);
+    }
+    {
+        ServeConfig cfg = singleTenantConfig(2000.0);
+        cfg.fault = FaultConfig::withRate(2e-7);
+        cfg.fault.protectAll(parityProtection(64.0));
+        cfgs.push_back(cfg);
+    }
+    return cfgs;
+}
+
+TEST_F(ServeTest, EngineMatchesReferenceScheduler)
+{
+    for (const ServeConfig &cfg : equivalenceScenarios()) {
+        const ServeSim sim(makeInferenceChip(), cfg);
+        expectResultsIdentical(sim.run(), sim.runReference());
+    }
+}
+
+TEST_F(ServeTest, BatchedEngineMatchesReferenceAtEveryThreadCount)
+{
+    const std::vector<ServeConfig> cfgs = equivalenceScenarios();
+    std::vector<std::unique_ptr<ServeSim>> sims;
+    std::vector<const ServeSim *> ptrs;
+    for (const ServeConfig &cfg : cfgs) {
+        sims.push_back(
+            std::make_unique<ServeSim>(makeInferenceChip(), cfg));
+        ptrs.push_back(sims.back().get());
+    }
+    std::vector<ServeResult> reference;
+    for (const auto &sim : sims)
+        reference.push_back(sim->runReference());
+
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+        ThreadPool::setDefaultThreads(threads);
+        const std::vector<ServeResult> batched = runServeBatch(ptrs);
+        ASSERT_EQ(batched.size(), reference.size());
+        for (size_t i = 0; i < batched.size(); ++i)
+            expectResultsIdentical(batched[i], reference[i]);
+    }
+}
+
+TEST_F(ServeTest, RunServeBatchRejectsNullSimulator)
+{
+    EXPECT_THROW(runServeBatch({nullptr}), Error);
 }
 
 } // namespace

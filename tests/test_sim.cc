@@ -8,11 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.hh"
 #include "common/random.hh"
 #include "func/quantized_ops.hh"
+#include "compiler/codegen.hh"
 #include "compiler/dataflow.hh"
+#include "sim/chip_sim.hh"
 #include "sim/event_queue.hh"
 #include "sim/systolic.hh"
+#include "workloads/networks.hh"
 
 namespace rapid {
 namespace {
@@ -236,6 +240,59 @@ TEST(Systolic, MatchesFunctionalExecutorWithSingleChunk)
     SystolicResult res = sim.gemm(a, b);
     for (int64_t i = 0; i < func.numel(); ++i)
         EXPECT_FLOAT_EQ(func[i], res.c[i]) << "i=" << i;
+}
+
+// DES-engine equivalence: runBatch now advances each chip simulation
+// as a domain of the shared conservative engine; every stat must stay
+// bit-identical to one-at-a-time run() calls at any thread count.
+TEST(ChipSimEngine, RunBatchMatchesSerialRunsOnDesEngine)
+{
+    std::vector<LayerProgram> progs;
+    for (int64_t co : {24, 48, 72}) {
+        Layer l;
+        l.type = LayerType::Conv;
+        l.name = "conv";
+        l.ci = 32;
+        l.co = co;
+        l.h = 7;
+        l.w = 7;
+        l.kh = l.kw = 3;
+        l.pad_h = l.pad_w = 1;
+        CodeGenerator cg(makeInferenceChip());
+        LayerPlan plan;
+        plan.precision = Precision::INT4;
+        progs.push_back(cg.generate(l, plan, 1));
+    }
+
+    ChipSim sim(4, /*multicast=*/true);
+    std::vector<ChipRunStats> serial;
+    serial.reserve(progs.size());
+    for (const LayerProgram &p : progs)
+        serial.push_back(ChipSim(4, true).run(p));
+
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+        ThreadPool::setDefaultThreads(threads);
+        const std::vector<ChipRunStats> batched = sim.runBatch(progs);
+        ASSERT_EQ(batched.size(), serial.size());
+        for (size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(batched[i].makespan, serial[i].makespan);
+            EXPECT_EQ(batched[i].ring_flit_hops,
+                      serial[i].ring_flit_hops);
+            ASSERT_EQ(batched[i].cores.size(),
+                      serial[i].cores.size());
+            for (size_t c = 0; c < serial[i].cores.size(); ++c) {
+                EXPECT_EQ(batched[i].cores[c].finish_cycle,
+                          serial[i].cores[c].finish_cycle);
+                EXPECT_EQ(batched[i].cores[c].stall_cycles,
+                          serial[i].cores[c].stall_cycles);
+                EXPECT_EQ(batched[i].cores[c].fmma_issued,
+                          serial[i].cores[c].fmma_issued);
+                EXPECT_EQ(batched[i].cores[c].tiles_loaded,
+                          serial[i].cores[c].tiles_loaded);
+            }
+        }
+    }
+    ThreadPool::setDefaultThreads(0);
 }
 
 } // namespace

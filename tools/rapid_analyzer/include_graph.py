@@ -22,6 +22,12 @@ The fault oracle itself lives in src/common/fault.* exactly so this
 map holds: every tier-2/3 hardware-site model draws injection
 decisions from the oracle, while campaign-level fault tooling
 (src/fault/storage_sim) stays up at tier 4 where it belongs.
+
+The deterministic DES engine (src/common/des.*) sits at tier 0 for
+the same reason: every simulator above it — the chip sim at tier 3,
+the serving front-end at tier 5 — schedules its virtual-clock events
+through the engine, so the engine may depend on nothing but the pool
+and error machinery beside it in common.
 """
 
 from collections import namedtuple
