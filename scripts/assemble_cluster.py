@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Assemble the cluster-sweep results into BENCH_cluster.json.
+
+cluster_sweep appends one JSON record per fleet scenario to the file
+named by RAPID_CLUSTER_JSON ({"section": ..., "policy": ...,
+"num_chips": ..., "failure_rate": ..., closed request accounting,
+goodput/live fraction, training restore fields}). This script merges
+those lines — keeping the last record per (section, policy,
+num_chips, failure_rate) so reruns overwrite stale cells — HARD-FAILS
+if any record's request accounting is open (offered != completed +
+shed + failed; the fleet ledger must close by construction, so an
+open record is a router bug, not a data point), verifies that every
+training record that lost its home chip was actually restored under
+failover-restore, writes the grouped records to BENCH_cluster.json,
+and prints a per-policy goodput summary.
+
+Usage: assemble_cluster.py <raw-jsonl> [<output-json>]
+       assemble_cluster.py --self-test
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+
+def load_records(path):
+    records = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"{path}:{line_no}: bad cluster record: {exc}"
+                )
+            key = (rec["section"], rec["policy"], int(rec["num_chips"]),
+                   float(rec["failure_rate"]))
+            records[key] = rec
+    return [records[k] for k in sorted(records)]
+
+
+def check_closed(path, records):
+    """Open accounting anywhere is a hard failure naming the cells:
+    a request the ledger lost track of would silently inflate
+    goodput."""
+    open_cells = [rec for rec in records if not rec["closed"]]
+    if open_cells:
+        cells = ", ".join(
+            f"{r['section']}/{r['policy']}@{r['failure_rate']}"
+            for r in open_cells
+        )
+        raise SystemExit(
+            f"{path}: open request accounting in cells: {cells}"
+        )
+
+
+def check_restores(path, records):
+    """Under failover-restore a training tenant must never stay lost:
+    lost_steps is bounded rework, an unrestored trainer is a dropped
+    tenant."""
+    bad = [
+        rec for rec in records
+        if rec.get("training_enabled")
+        and rec["policy"] == "failover-restore"
+        and rec["chips_failed"] > 0
+        and not rec.get("training_restored")
+    ]
+    if bad:
+        cells = ", ".join(
+            f"{r['section']}@{r['failure_rate']}" for r in bad
+        )
+        raise SystemExit(
+            f"{path}: training tenant lost without restore in: {cells}"
+        )
+
+
+def policy_summary(records):
+    """Per policy over the kill grid: worst goodput retained relative
+    to the live-chip fraction of offered load."""
+    policies = {}
+    for rec in records:
+        if rec["section"] != "policy_grid":
+            continue
+        entry = policies.setdefault(rec["policy"], {
+            "cells": 0,
+            "worst_goodput_vs_live": None,
+            "failed": 0,
+            "failed_over": 0,
+            "retries": 0,
+        })
+        entry["cells"] += 1
+        entry["failed"] += int(rec["failed"])
+        entry["failed_over"] += int(rec["failed_over"])
+        entry["retries"] += int(rec["retries"])
+        live_rps = float(rec["offered_rps"]) * float(rec["live_fraction"])
+        if live_rps > 0:
+            ratio = float(rec["goodput_rps"]) / live_rps
+            worst = entry["worst_goodput_vs_live"]
+            if worst is None or ratio < worst:
+                entry["worst_goodput_vs_live"] = ratio
+    return policies
+
+
+def assemble(raw_path, out_path):
+    records = load_records(raw_path)
+    if not records:
+        raise SystemExit(f"{raw_path}: no cluster records found")
+    check_closed(raw_path, records)
+    check_restores(raw_path, records)
+
+    sections = {}
+    for rec in records:
+        sections.setdefault(rec["section"], []).append(rec)
+    policies = policy_summary(records)
+    out = {
+        "sections": sections,
+        "policies": [
+            {"policy": name, **entry}
+            for name, entry in sorted(policies.items())
+        ],
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(out, fh, indent=2)
+        fh.write("\n")
+    return records, sections, policies
+
+
+def report(out_path, records, sections, policies):
+    width = max((len(p) for p in policies), default=8) + 2
+    print(f"{'policy':<{width}}{'cells':>6}{'worst vs live':>14}"
+          f"{'failed':>8}{'failed-over':>12}{'retries':>8}")
+    for name, entry in sorted(policies.items()):
+        ratio = entry["worst_goodput_vs_live"]
+        ratio_s = f"{ratio:.3f}" if ratio is not None else "-"
+        print(f"{name:<{width}}{entry['cells']:>6}{ratio_s:>14}"
+              f"{entry['failed']:>8}{entry['failed_over']:>12}"
+              f"{entry['retries']:>8}")
+    print(f"\nwrote {out_path} ({len(records)} records, "
+          f"{len(sections)} sections)")
+
+
+def _record(section, policy, closed=True, **extra):
+    rec = {
+        "section": section, "policy": policy, "num_chips": 6,
+        "failure_rate": 0.5, "offered": 100, "completed": 90,
+        "shed": 4, "failed": 6, "failed_over": 10, "retries": 12,
+        "goodput_rps": 900.0, "offered_rps": 1200.0,
+        "live_fraction": 0.8, "chips_failed": 2, "chips_degraded": 0,
+        "closed": closed, "training_enabled": False,
+        "training_restored": False, "training_lost_steps": 0,
+    }
+    rec.update(extra)
+    return rec
+
+
+def self_test():
+    """Fixture check: a clean grid assembles; an open-accounting cell
+    and an unrestored training tenant each hard-fail naming the
+    cell."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = os.path.join(tmp, "raw.jsonl")
+        out = os.path.join(tmp, "out.json")
+        good = [
+            _record("policy_grid", "no-failover"),
+            _record("policy_grid", "failover-restore", failed=0,
+                    completed=96, goodput_rps=950.0),
+            _record("anatomy", "failover-restore",
+                    training_enabled=True, chips_failed=1,
+                    training_restored=True, training_lost_steps=9),
+        ]
+        with open(raw, "w", encoding="utf-8") as fh:
+            for rec in good:
+                fh.write(json.dumps(rec) + "\n")
+        records, sections, policies = assemble(raw, out)
+        assert len(records) == 3, records
+        assert set(sections) == {"policy_grid", "anatomy"}, sections
+        worst = policies["failover-restore"]["worst_goodput_vs_live"]
+        assert abs(worst - 950.0 / (1200.0 * 0.8)) < 1e-9, worst
+
+        with open(raw, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(
+                _record("policy_grid", "drain-only", closed=False)
+            ) + "\n")
+        try:
+            assemble(raw, out)
+        except SystemExit as exc:
+            assert "open request accounting" in str(exc), exc
+            assert "drain-only" in str(exc), exc
+        else:
+            raise SystemExit("self-test: open accounting did not fail")
+
+        lost = os.path.join(tmp, "lost.jsonl")
+        with open(lost, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(_record(
+                "training_failed", "failover-restore",
+                training_enabled=True, chips_failed=1,
+                training_restored=False,
+            )) + "\n")
+        try:
+            assemble(lost, out)
+        except SystemExit as exc:
+            assert "lost without restore" in str(exc), exc
+        else:
+            raise SystemExit("self-test: lost training did not fail")
+
+        empty = os.path.join(tmp, "empty.jsonl")
+        open(empty, "w", encoding="utf-8").close()
+        try:
+            assemble(empty, out)
+        except SystemExit as exc:
+            assert "no cluster records" in str(exc), exc
+        else:
+            raise SystemExit("self-test: empty input did not fail")
+
+    print("assemble_cluster.py self-test passed")
+
+
+def main(argv):
+    args = list(argv[1:])
+    if args == ["--self-test"]:
+        self_test()
+        return 0
+    if len(args) not in (1, 2):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    raw_path = args[0]
+    out_path = args[1] if len(args) == 2 else "BENCH_cluster.json"
+    records, sections, policies = assemble(raw_path, out_path)
+    report(out_path, records, sections, policies)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -26,12 +26,16 @@ ctest --test-dir build 2>&1 | tee test_output.txt || fail "ctest"
 # Figure sweeps: every driver appends its wall-clock record to the
 # sweep log, which assemble_sweeps.py merges into BENCH_sweeps.json.
 # serve_sweep additionally appends per-ramp-point serving records
-# (assemble_serve.py -> BENCH_serve.json) and resilience_sweep its
-# policy-grid cells (assemble_resilience.py -> BENCH_resilience.json).
+# (assemble_serve.py -> BENCH_serve.json), resilience_sweep its
+# policy-grid cells (assemble_resilience.py -> BENCH_resilience.json),
+# and cluster_sweep its fleet scenarios (assemble_cluster.py ->
+# BENCH_cluster.json, hard-failing on open request accounting).
 export RAPID_SWEEP_JSON="$PWD/build/sweeps_raw.jsonl"
 export RAPID_SERVE_JSON="$PWD/build/serve_raw.jsonl"
 export RAPID_RESILIENCE_JSON="$PWD/build/resilience_raw.jsonl"
-rm -f "$RAPID_SWEEP_JSON" "$RAPID_SERVE_JSON" "$RAPID_RESILIENCE_JSON"
+export RAPID_CLUSTER_JSON="$PWD/build/cluster_raw.jsonl"
+rm -f "$RAPID_SWEEP_JSON" "$RAPID_SERVE_JSON" "$RAPID_RESILIENCE_JSON" \
+      "$RAPID_CLUSTER_JSON"
 (for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
     echo "===== $b"
@@ -43,7 +47,8 @@ rm -f "$RAPID_SWEEP_JSON" "$RAPID_SERVE_JSON" "$RAPID_RESILIENCE_JSON"
 # can show the parallel speedup, plus an 8-thread serve_sweep point
 # for the DES engine's scaling record.
 HEAVY_SWEEPS="fig13_inference_latency fig14_inference_efficiency \
-fig15_training_throughput fault_sweep serve_sweep resilience_sweep"
+fig15_training_throughput fault_sweep serve_sweep resilience_sweep \
+cluster_sweep"
 for fig in $HEAVY_SWEEPS; do
     build/bench/"$fig" --threads 1 > /dev/null || fail "$fig baseline"
 done
@@ -68,6 +73,11 @@ echo
 echo "===== resilience policy summary"
 python3 scripts/assemble_resilience.py "$RAPID_RESILIENCE_JSON" \
     BENCH_resilience.json || fail "resilience report"
+
+echo
+echo "===== fleet failover summary"
+python3 scripts/assemble_cluster.py "$RAPID_CLUSTER_JSON" \
+    BENCH_cluster.json || fail "cluster report"
 
 (for e in build/examples/*; do
     [ -x "$e" ] && [ -f "$e" ] || continue

@@ -9,7 +9,8 @@ build="${BUILD_DIR:-$repo/build}"
 
 for fig in fig10_chip_specs fig13_inference_latency \
            fig14_inference_efficiency fig15_training_throughput \
-           fig18_system_scaling serve_sweep resilience_sweep; do
+           fig18_system_scaling serve_sweep resilience_sweep \
+           cluster_sweep; do
     bin="$build/bench/$fig"
     if [[ ! -x "$bin" ]]; then
         echo "error: $bin not built (cmake --build $build)" >&2

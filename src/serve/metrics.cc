@@ -82,6 +82,11 @@ computeMetrics(const ServeConfig &cfg, const ServeResult &result)
         TenantMetrics &m = out.tenants[r.tenant];
         ++m.offered;
         ++out.total.offered;
+        if (r.failed) {
+            ++m.failed;
+            ++out.total.failed;
+            continue;
+        }
         if (r.shed) {
             ++m.shed;
             ++out.total.shed;

@@ -46,6 +46,7 @@ struct TenantMetrics
     uint64_t offered = 0;   ///< requests generated
     uint64_t completed = 0; ///< requests served to completion
     uint64_t shed = 0;      ///< rejected at admission
+    uint64_t failed = 0;    ///< stranded by a chip failure
     uint64_t sla_met = 0;   ///< completed within deadline
     uint64_t violations = 0; ///< completed after deadline
     LatencyStats latency;   ///< over completed requests
@@ -57,10 +58,11 @@ struct TenantMetrics
     uint64_t served_hfp8 = 0;
     uint64_t served_fp16 = 0;
 
-    /** offered == completed + shed must hold after drain. */
+    /** offered == completed + shed + failed must hold after drain
+     *  (failed is zero outside fleet serving). */
     bool accountingClosed() const
     {
-        return offered == completed + shed;
+        return offered == completed + shed + failed;
     }
 };
 

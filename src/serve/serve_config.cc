@@ -1,5 +1,6 @@
 #include "serve/serve_config.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hh"
@@ -37,9 +38,9 @@ validateServeConfig(const ServeConfig &cfg)
     for (const TenantConfig &t : cfg.tenants) {
         RAPID_CHECK_ARG(!t.name.empty(), "tenant name must be set");
         RAPID_CHECK_ARG(std::isfinite(t.arrival_rps) &&
-                            t.arrival_rps > 0.0,
+                            t.arrival_rps >= 0.0,
                         "tenant '", t.name,
-                        "': arrival_rps must be positive, got ",
+                        "': arrival_rps must be >= 0, got ",
                         t.arrival_rps);
         RAPID_CHECK_ARG(t.deadline_ns > 0, "tenant '", t.name,
                         "': deadline_ns must be positive, got ",
@@ -70,6 +71,17 @@ validateServeConfig(const ServeConfig &cfg)
     RAPID_CHECK_ARG(cfg.horizon_ns > 0,
                     "horizon_ns must be positive, got ", cfg.horizon_ns);
     validateFaultConfig(cfg.fault);
+}
+
+std::vector<Precision>
+tablePrecisions(const ServeConfig &cfg)
+{
+    std::vector<Precision> precs = cfg.ladder;
+    for (const TenantConfig &t : cfg.tenants)
+        if (std::find(precs.begin(), precs.end(), t.min_precision) ==
+            precs.end())
+            precs.push_back(t.min_precision);
+    return precs;
 }
 
 } // namespace rapid

@@ -62,7 +62,10 @@ struct BatcherConfig
     int64_t max_wait_ns = 2'000'000;
 };
 
-/** A full serving scenario. */
+/** A full serving scenario. A tenant with arrival_rps == 0 offers no
+ *  local traffic but still shapes the latency table and queue set —
+ *  fleet shards use this to replicate every tenant's model on every
+ *  chip while arrivals stay partitioned by home chip. */
 struct ServeConfig
 {
     std::vector<TenantConfig> tenants;
@@ -97,6 +100,13 @@ int servingQuality(Precision p);
  * max_wait, bad fault knobs. Runs in every build type.
  */
 void validateServeConfig(const ServeConfig &cfg);
+
+/**
+ * The precisions a chip's latency table must cover for @p cfg: the
+ * router ladder plus every tenant quality floor, deduplicated in
+ * first-appearance order.
+ */
+std::vector<Precision> tablePrecisions(const ServeConfig &cfg);
 
 } // namespace rapid
 

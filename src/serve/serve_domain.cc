@@ -1,0 +1,400 @@
+#include "serve/serve_domain.hh"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+
+namespace rapid {
+
+namespace {
+
+constexpr int64_t kNever = std::numeric_limits<int64_t>::max();
+
+} // namespace
+
+ServeDomainCore::ServeDomainCore(const ServeSim &sim, DesDomain &dom)
+    : sim_(sim), dom_(dom), cfg_(sim.config()), table_(&sim.table()),
+      tenant_network_(sim.tenantNetwork()),
+      max_batch_(cfg_.batcher.max_batch),
+      max_wait_(cfg_.batcher.max_wait_ns)
+{
+}
+
+void
+ServeDomainCore::start()
+{
+    dom_.schedule(0, kPriArrival, [this] { bootstrap(); });
+}
+
+void
+ServeDomainCore::bootstrap()
+{
+    arrivals_ = generateArrivals(cfg_);
+    result_.horizon_ns = cfg_.horizon_ns;
+    result_.requests.resize(arrivals_.size());
+
+    // Queue per (network, ladder position): created eagerly in a
+    // deterministic order so queue ids are stable across runs.
+    const size_t num_networks = sim_.networkNames().size();
+    queue_of_.resize(num_networks);
+    for (size_t n = 0; n < num_networks; ++n) {
+        queue_of_[n].assign(cfg_.ladder.size(), -1);
+        for (size_t li = 0; li < cfg_.ladder.size(); ++li) {
+            Queue q;
+            q.network = n;
+            q.precision = cfg_.ladder[li];
+            queue_of_[n][li] = int(queues_.size());
+            queues_.push_back(q);
+        }
+    }
+    head_gen_.assign(queues_.size(), 0);
+    bootstrapped_ = true;
+
+    if (!arrivals_.empty())
+        dom_.schedule(arrivals_[0].time_ns, kPriArrival,
+                      [this] { onArrival(); });
+}
+
+void
+ServeDomainCore::noteDepthChange(int64_t t, int64_t delta)
+{
+    result_.queue_depth_integral +=
+        double(total_depth_) * double(t - last_event_ns_);
+    last_event_ns_ = t;
+    total_depth_ += delta;
+    result_.max_queue_depth =
+        std::max(result_.max_queue_depth, total_depth_);
+}
+
+// Worst-case service time of one queue holding @p extra more
+// requests than it does now: every planned batch charged at the
+// max-batch latency (monotone in size, so an upper bound).
+int64_t
+ServeDomainCore::queueServiceNs(const Queue &q, int64_t extra) const
+{
+    const int64_t depth = int64_t(q.depth()) + extra;
+    if (depth <= 0)
+        return int64_t{0};
+    const int64_t batches = (depth + max_batch_ - 1) / max_batch_;
+    return batches *
+           table_->latencyNs(q.network, q.precision, max_batch_);
+}
+
+// Conservative chip backlog as seen by a request joining queue
+// @p exclude: remaining executor time plus the worst-case service
+// of every other queue (the joined queue is charged separately,
+// with the request included, so nothing is double-counted).
+int64_t
+ServeDomainCore::backlogNs(int64_t t, size_t exclude) const
+{
+    int64_t backlog = busy_until_ > t ? busy_until_ - t : 0;
+    for (size_t qi = 0; qi < queues_.size(); ++qi)
+        if (qi != exclude)
+            backlog += queueServiceNs(queues_[qi], 0);
+    return backlog;
+}
+
+/**
+ * The router ladder walk shared by trace and injected arrivals:
+ * pick the cheapest precision at or above the tenant floor whose
+ * conservatively predicted completion fits @p deadline_ns, queue the
+ * request there, and return true. Returns false (caller sheds) when
+ * no ladder entry fits.
+ */
+bool
+ServeDomainCore::routeRequest(RequestRecord &rec, int64_t deadline_ns)
+{
+    const TenantConfig &tenant = cfg_.tenants[rec.tenant];
+    const size_t net = tenant_network_[rec.tenant];
+    const int floor = servingQuality(tenant.min_precision);
+    for (size_t li = 0; li < cfg_.ladder.size(); ++li) {
+        const Precision p = cfg_.ladder[li];
+        if (servingQuality(p) < floor)
+            continue;
+        const size_t qi = size_t(queue_of_[net][li]);
+        // With a single queue this is a hard upper bound on the
+        // request's latency: batches ahead of it run back to back
+        // (a full queue is ready immediately), and the executor
+        // idles at most once, for at most max_wait past the head's
+        // arrival, before the request's own partial batch expires.
+        const int64_t predicted =
+            backlogNs(rec.arrival_ns, qi) +
+            queueServiceNs(queues_[qi], +1) + max_wait_;
+        if (predicted <= deadline_ns) {
+            rec.precision = p;
+            rec.predicted_ns = predicted;
+            Queue &q = queues_[qi];
+            const bool was_empty = q.empty();
+            q.pending.push_back(rec.id);
+            noteDepthChange(rec.arrival_ns, +1);
+            // A previously empty queue gains a head: arm its
+            // max_wait expiry.
+            if (was_empty)
+                scheduleHeadTimeout(qi);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ServeDomainCore::admit(const Arrival &a)
+{
+    RequestRecord &rec = result_.requests[a.id];
+    rec.id = a.id;
+    rec.tenant = a.tenant;
+    rec.arrival_ns = a.time_ns;
+    if (!routeRequest(rec, cfg_.tenants[a.tenant].deadline_ns))
+        rec.shed = true; // no ladder entry can meet the deadline
+}
+
+// A queue is ready when full or its head has waited max_wait.
+int
+ServeDomainCore::readyQueue(int64_t t) const
+{
+    int best = -1;
+    int64_t best_head = kNever;
+    for (size_t qi = 0; qi < queues_.size(); ++qi) {
+        const Queue &q = queues_[qi];
+        if (q.empty())
+            continue;
+        const int64_t head_arrival =
+            result_.requests[q.pending[q.head]].arrival_ns;
+        const bool full = int64_t(q.depth()) >= max_batch_;
+        const bool expired = t - head_arrival >= max_wait_;
+        const bool drained = next_arrival_ >= arrivals_.size();
+        if ((full || expired || drained) && head_arrival < best_head) {
+            best = int(qi);
+            best_head = head_arrival;
+        }
+    }
+    return best;
+}
+
+void
+ServeDomainCore::scheduleHeadTimeout(size_t qi)
+{
+    const Queue &q = queues_[qi];
+    rapid_dassert(!q.empty(),
+                  "arming a head timeout on an empty queue");
+    const int64_t head_arrival =
+        result_.requests[q.pending[q.head]].arrival_ns;
+    // The serial loop clamps an already-expired timeout to the
+    // current instant; schedule does the same.
+    const int64_t when = std::max(dom_.now(), head_arrival + max_wait_);
+    const uint64_t gen = head_gen_[qi];
+    dom_.schedule(when, kPriTimeout,
+                  [this, qi, gen] { onTimeout(qi, gen); });
+}
+
+void
+ServeDomainCore::launch(int qi, int64_t t)
+{
+    Queue &q = queues_[size_t(qi)];
+    const int64_t size =
+        std::min<int64_t>(int64_t(q.depth()), max_batch_);
+    BatchRecord batch;
+    batch.network = q.network;
+    batch.precision = q.precision;
+    batch.size = size;
+    batch.launch_ns = t;
+    batch.completion_ns =
+        t + table_->latencyNs(q.network, q.precision, size);
+    batch.energy_j = table_->energyJ(q.network, q.precision, size);
+    batch.forced_by_timeout =
+        size < max_batch_ && next_arrival_ < arrivals_.size();
+    for (int64_t i = 0; i < size; ++i) {
+        RequestRecord &rec =
+            result_.requests[q.pending[q.head + size_t(i)]];
+        rec.launch_ns = t;
+        rec.completion_ns = batch.completion_ns;
+    }
+    q.head += size_t(size);
+    if (q.empty()) {
+        q.pending.clear();
+        q.head = 0;
+    }
+    noteDepthChange(t, -size);
+    busy_until_ = batch.completion_ns;
+    result_.batches.push_back(batch);
+    // The launched head is gone: invalidate its pending timeout
+    // and arm the next head's.
+    ++head_gen_[size_t(qi)];
+    if (!q.empty())
+        scheduleHeadTimeout(size_t(qi));
+    dom_.schedule(batch.completion_ns, kPriCompletion,
+                  [this] { tryLaunch(dom_.now()); });
+}
+
+/** The executor may act: launch the ready queue with the oldest
+ *  head, if any — the serial loop's per-wakeup step. */
+void
+ServeDomainCore::tryLaunch(int64_t t)
+{
+    if (dead_ || t < busy_until_)
+        return;
+    const int ready = readyQueue(t);
+    if (ready >= 0)
+        launch(ready, t);
+}
+
+void
+ServeDomainCore::onArrival()
+{
+    if (dead_)
+        return;
+    // Admit every arrival at the current instant (merged order),
+    // exactly like the serial loop's admission sweep.
+    while (next_arrival_ < arrivals_.size() &&
+           arrivals_[next_arrival_].time_ns <= dom_.now())
+        admit(arrivals_[next_arrival_++]);
+    if (next_arrival_ < arrivals_.size())
+        dom_.schedule(arrivals_[next_arrival_].time_ns, kPriArrival,
+                      [this] { onArrival(); });
+    tryLaunch(dom_.now());
+}
+
+void
+ServeDomainCore::onTimeout(size_t qi, uint64_t gen)
+{
+    // A launch bumped the generation: this head no longer exists
+    // and the serial loop would never have woken here.
+    if (dead_ || gen != head_gen_[qi])
+        return;
+    tryLaunch(dom_.now());
+}
+
+uint64_t
+ServeDomainCore::injectArrival(int64_t time_ns, unsigned tenant,
+                               int64_t deadline_ns)
+{
+    RAPID_CHECK_ARG(tenant < cfg_.tenants.size(),
+                    "injectArrival: tenant ", tenant,
+                    " out of range for ", cfg_.tenants.size(),
+                    " tenants");
+    RAPID_CHECK_ARG(deadline_ns > 0,
+                    "injectArrival: non-positive deadline budget ",
+                    deadline_ns);
+    rapid_assert(bootstrapped_ && !dead_,
+                 "injectArrival outside the live window");
+    const uint64_t id = result_.requests.size();
+    result_.requests.emplace_back();
+    const int64_t when = std::max(dom_.now(), time_ns);
+    pending_injected_.push_back({id, tenant, when});
+    dom_.schedule(when, kPriArrival,
+                  [this, id, tenant, when, deadline_ns] {
+                      if (dead_)
+                          return; // halt() already filed the record
+                      for (size_t i = 0; i < pending_injected_.size();
+                           ++i)
+                          if (pending_injected_[i].id == id) {
+                              pending_injected_.erase(
+                                  pending_injected_.begin() +
+                                  long(i));
+                              break;
+                          }
+                      RequestRecord &rec = result_.requests[id];
+                      rec.id = id;
+                      rec.tenant = tenant;
+                      rec.arrival_ns = when;
+                      if (!routeRequest(rec, deadline_ns))
+                          rec.shed = true;
+                      tryLaunch(dom_.now());
+                  });
+    return id;
+}
+
+HaltReport
+ServeDomainCore::halt()
+{
+    rapid_assert(bootstrapped_ && !dead_,
+                 "halt outside the live window");
+    dead_ = true;
+    halt_ns_ = dom_.now();
+    HaltReport report;
+    report.halt_ns = halt_ns_;
+
+    auto file = [&](uint64_t id, bool admitted) {
+        RequestRecord &rec = result_.requests[id];
+        rec.failed = true;
+        OrphanRequest o;
+        o.id = id;
+        o.tenant = rec.tenant;
+        o.arrival_ns = rec.arrival_ns;
+        o.admitted = admitted;
+        report.orphans.push_back(o);
+    };
+
+    // In-flight launched requests (the executor died mid-batch), in
+    // id order.
+    for (size_t id = 0; id < result_.requests.size(); ++id) {
+        const RequestRecord &rec = result_.requests[id];
+        if (!rec.shed && !rec.failed && rec.launch_ns >= 0 &&
+            rec.completion_ns > halt_ns_)
+            file(id, true);
+    }
+    // Queued requests, in (queue id, FIFO) order.
+    noteDepthChange(halt_ns_, -total_depth_);
+    for (Queue &q : queues_) {
+        for (size_t i = q.head; i < q.pending.size(); ++i)
+            file(q.pending[i], true);
+        q.pending.clear();
+        q.head = 0;
+    }
+    // Injected arrivals scheduled but not yet admitted.
+    for (const InjectedPending &p : pending_injected_) {
+        RequestRecord &rec = result_.requests[p.id];
+        rec.id = p.id;
+        rec.tenant = p.tenant;
+        rec.arrival_ns = p.when;
+        file(p.id, false);
+    }
+    pending_injected_.clear();
+    // The unadmitted trace remainder, in trace order.
+    for (size_t i = next_arrival_; i < arrivals_.size(); ++i) {
+        const Arrival &a = arrivals_[i];
+        RequestRecord &rec = result_.requests[a.id];
+        rec.id = a.id;
+        rec.tenant = a.tenant;
+        rec.arrival_ns = a.time_ns;
+        file(a.id, false);
+    }
+    next_arrival_ = arrivals_.size();
+    return report;
+}
+
+void
+ServeDomainCore::setTable(const LatencyTable *table)
+{
+    RAPID_CHECK_ARG(table != nullptr, "setTable: null latency table");
+    table_ = table;
+}
+
+/**
+ * Close the run. end_ns cannot read dom.now(): stale timeouts
+ * legitimately advance the domain clock past the last state change.
+ * The serial loop's final `now` is provably max(busy_until, last
+ * arrival, 0) — every other advance target (a timeout it wakes for)
+ * immediately launches and is therefore <= the final busy_until. A
+ * halted chip instead freezes at the halt instant, where its depth
+ * integral was closed.
+ */
+ServeResult
+ServeDomainCore::finish()
+{
+    if (dead_) {
+        result_.end_ns = halt_ns_;
+        return std::move(result_);
+    }
+    int64_t end = std::max<int64_t>(busy_until_, 0);
+    if (!arrivals_.empty())
+        end = std::max(end, arrivals_.back().time_ns);
+    result_.end_ns = end;
+    noteDepthChange(end, 0); // close the depth integral
+    return std::move(result_);
+}
+
+} // namespace rapid

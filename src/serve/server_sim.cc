@@ -9,6 +9,7 @@
 #include "common/des.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "serve/serve_domain.hh"
 #include "workloads/networks.hh"
 
 namespace rapid {
@@ -53,18 +54,6 @@ buildNetworks(const std::vector<std::string> &names)
     return nets;
 }
 
-/** Ladder plus every tenant quality floor, deduplicated. */
-std::vector<Precision>
-tablePrecisions(const ServeConfig &cfg)
-{
-    std::vector<Precision> precs = cfg.ladder;
-    for (const TenantConfig &t : cfg.tenants)
-        if (std::find(precs.begin(), precs.end(), t.min_precision) ==
-            precs.end())
-            precs.push_back(t.min_precision);
-    return precs;
-}
-
 /** One dynamic-batching queue: requests of one (network, precision). */
 struct Queue
 {
@@ -75,314 +64,6 @@ struct Queue
 
     size_t depth() const { return pending.size() - head; }
     bool empty() const { return head == pending.size(); }
-};
-
-/**
- * Event-driven execution of one ServeSim on a DesDomain. The state
- * and policy helpers mirror ServeSim::runReference line for line; the
- * serial loop's explicit time advance is replaced by three event
- * lanes on the domain clock, ordered at one instant exactly like the
- * serial merge:
- *
- *  - kPriArrival: admit every arrival at this instant (in trace
- *    order), schedule the next arrival event, poke the batcher.
- *  - kPriCompletion: the executor frees; poke the batcher.
- *  - kPriTimeout: a queue head's max_wait expires; poke the batcher.
- *
- * A head timeout carries the queue's generation counter at scheduling
- * time; every launch bumps the counter, so a timeout whose head has
- * already launched is a stale no-op — exactly the instants the serial
- * loop never visits. Since stale events still advance the domain
- * clock, end_ns is reconstructed from busy_until and the last arrival
- * (provably equal to the serial loop's final `now` merge) instead of
- * from DesDomain::now().
- */
-struct ServeDomainSim
-{
-    static constexpr int32_t kPriArrival = 0;
-    static constexpr int32_t kPriCompletion = 1;
-    static constexpr int32_t kPriTimeout = 2;
-
-    const ServeSim &sim;
-    DesDomain &dom;
-    const ServeConfig &cfg;
-    const LatencyTable &table;
-    const std::vector<size_t> &tenant_network;
-    int64_t max_batch;
-    int64_t max_wait;
-
-    std::vector<Arrival> arrivals;
-    std::vector<Queue> queues;
-    std::vector<std::vector<int>> queue_of;
-    /// Bumped on every launch of the queue; pending head timeouts
-    /// capture the value at scheduling time and no-op on mismatch.
-    std::vector<uint64_t> head_gen;
-    int64_t busy_until = -1; ///< executor busy while t < busy_until
-    size_t next_arrival = 0;
-    int64_t total_depth = 0; ///< requests queued across all queues
-    int64_t last_event_ns = 0;
-    ServeResult result;
-
-    ServeDomainSim(const ServeSim &s, DesDomain &d)
-        : sim(s), dom(d), cfg(s.config()), table(s.table()),
-          tenant_network(s.tenantNetwork()),
-          max_batch(cfg.batcher.max_batch),
-          max_wait(cfg.batcher.max_wait_ns)
-    {
-    }
-
-    /**
-     * Queue a bootstrap event at t=0 so trace generation itself runs
-     * inside the domain — i.e. in parallel across a batch.
-     */
-    void
-    start()
-    {
-        dom.schedule(0, kPriArrival, [this] { bootstrap(); });
-    }
-
-    void
-    bootstrap()
-    {
-        arrivals = generateArrivals(cfg);
-        result.horizon_ns = cfg.horizon_ns;
-        result.requests.resize(arrivals.size());
-
-        // Queue per (network, ladder position): created eagerly in a
-        // deterministic order so queue ids are stable across runs.
-        const size_t num_networks = sim.networkNames().size();
-        queue_of.resize(num_networks);
-        for (size_t n = 0; n < num_networks; ++n) {
-            queue_of[n].assign(cfg.ladder.size(), -1);
-            for (size_t li = 0; li < cfg.ladder.size(); ++li) {
-                Queue q;
-                q.network = n;
-                q.precision = cfg.ladder[li];
-                queue_of[n][li] = int(queues.size());
-                queues.push_back(q);
-            }
-        }
-        head_gen.assign(queues.size(), 0);
-
-        if (!arrivals.empty())
-            dom.schedule(arrivals[0].time_ns, kPriArrival,
-                         [this] { onArrival(); });
-    }
-
-    void
-    noteDepthChange(int64_t t, int64_t delta)
-    {
-        result.queue_depth_integral +=
-            double(total_depth) * double(t - last_event_ns);
-        last_event_ns = t;
-        total_depth += delta;
-        result.max_queue_depth =
-            std::max(result.max_queue_depth, total_depth);
-    }
-
-    // Worst-case service time of one queue holding @p extra more
-    // requests than it does now: every planned batch charged at the
-    // max-batch latency (monotone in size, so an upper bound).
-    int64_t
-    queueServiceNs(const Queue &q, int64_t extra) const
-    {
-        const int64_t depth = int64_t(q.depth()) + extra;
-        if (depth <= 0)
-            return int64_t{0};
-        const int64_t batches = (depth + max_batch - 1) / max_batch;
-        return batches *
-               table.latencyNs(q.network, q.precision, max_batch);
-    }
-
-    // Conservative chip backlog as seen by a request joining queue
-    // @p exclude: remaining executor time plus the worst-case service
-    // of every other queue (the joined queue is charged separately,
-    // with the request included, so nothing is double-counted).
-    int64_t
-    backlogNs(int64_t t, size_t exclude) const
-    {
-        int64_t backlog = busy_until > t ? busy_until - t : 0;
-        for (size_t qi = 0; qi < queues.size(); ++qi)
-            if (qi != exclude)
-                backlog += queueServiceNs(queues[qi], 0);
-        return backlog;
-    }
-
-    void
-    admit(const Arrival &a)
-    {
-        const TenantConfig &tenant = cfg.tenants[a.tenant];
-        const size_t net = tenant_network[a.tenant];
-        RequestRecord &rec = result.requests[a.id];
-        rec.id = a.id;
-        rec.tenant = a.tenant;
-        rec.arrival_ns = a.time_ns;
-
-        const int floor = servingQuality(tenant.min_precision);
-        for (size_t li = 0; li < cfg.ladder.size(); ++li) {
-            const Precision p = cfg.ladder[li];
-            if (servingQuality(p) < floor)
-                continue;
-            const size_t qi = size_t(queue_of[net][li]);
-            // With a single queue this is a hard upper bound on the
-            // request's latency: batches ahead of it run back to back
-            // (a full queue is ready immediately), and the executor
-            // idles at most once, for at most max_wait past the head's
-            // arrival, before the request's own partial batch expires.
-            const int64_t predicted =
-                backlogNs(a.time_ns, qi) +
-                queueServiceNs(queues[qi], +1) + max_wait;
-            if (predicted <= tenant.deadline_ns) {
-                rec.precision = p;
-                rec.predicted_ns = predicted;
-                Queue &q = queues[qi];
-                const bool was_empty = q.empty();
-                q.pending.push_back(a.id);
-                noteDepthChange(a.time_ns, +1);
-                // A previously empty queue gains a head: arm its
-                // max_wait expiry.
-                if (was_empty)
-                    scheduleHeadTimeout(qi);
-                return;
-            }
-        }
-        rec.shed = true; // no ladder entry can meet the deadline
-    }
-
-    // A queue is ready when full or its head has waited max_wait.
-    int
-    readyQueue(int64_t t) const
-    {
-        int best = -1;
-        int64_t best_head = kNever;
-        for (size_t qi = 0; qi < queues.size(); ++qi) {
-            const Queue &q = queues[qi];
-            if (q.empty())
-                continue;
-            const int64_t head_arrival =
-                result.requests[q.pending[q.head]].arrival_ns;
-            const bool full = int64_t(q.depth()) >= max_batch;
-            const bool expired = t - head_arrival >= max_wait;
-            const bool drained = next_arrival >= arrivals.size();
-            if ((full || expired || drained) &&
-                head_arrival < best_head) {
-                best = int(qi);
-                best_head = head_arrival;
-            }
-        }
-        return best;
-    }
-
-    void
-    scheduleHeadTimeout(size_t qi)
-    {
-        const Queue &q = queues[qi];
-        rapid_dassert(!q.empty(),
-                      "arming a head timeout on an empty queue");
-        const int64_t head_arrival =
-            result.requests[q.pending[q.head]].arrival_ns;
-        // The serial loop clamps an already-expired timeout to the
-        // current instant; schedule does the same.
-        const int64_t when =
-            std::max(dom.now(), head_arrival + max_wait);
-        const uint64_t gen = head_gen[qi];
-        dom.schedule(when, kPriTimeout,
-                     [this, qi, gen] { onTimeout(qi, gen); });
-    }
-
-    void
-    launch(int qi, int64_t t)
-    {
-        Queue &q = queues[size_t(qi)];
-        const int64_t size =
-            std::min<int64_t>(int64_t(q.depth()), max_batch);
-        BatchRecord batch;
-        batch.network = q.network;
-        batch.precision = q.precision;
-        batch.size = size;
-        batch.launch_ns = t;
-        batch.completion_ns =
-            t + table.latencyNs(q.network, q.precision, size);
-        batch.energy_j = table.energyJ(q.network, q.precision, size);
-        batch.forced_by_timeout =
-            size < max_batch && next_arrival < arrivals.size();
-        for (int64_t i = 0; i < size; ++i) {
-            RequestRecord &rec =
-                result.requests[q.pending[q.head + size_t(i)]];
-            rec.launch_ns = t;
-            rec.completion_ns = batch.completion_ns;
-        }
-        q.head += size_t(size);
-        if (q.empty()) {
-            q.pending.clear();
-            q.head = 0;
-        }
-        noteDepthChange(t, -size);
-        busy_until = batch.completion_ns;
-        result.batches.push_back(batch);
-        // The launched head is gone: invalidate its pending timeout
-        // and arm the next head's.
-        ++head_gen[size_t(qi)];
-        if (!q.empty())
-            scheduleHeadTimeout(size_t(qi));
-        dom.schedule(batch.completion_ns, kPriCompletion,
-                     [this] { tryLaunch(dom.now()); });
-    }
-
-    /** The executor may act: launch the ready queue with the oldest
-     *  head, if any — the serial loop's per-wakeup step. */
-    void
-    tryLaunch(int64_t t)
-    {
-        if (t < busy_until)
-            return;
-        const int ready = readyQueue(t);
-        if (ready >= 0)
-            launch(ready, t);
-    }
-
-    void
-    onArrival()
-    {
-        // Admit every arrival at the current instant (merged order),
-        // exactly like the serial loop's admission sweep.
-        while (next_arrival < arrivals.size() &&
-               arrivals[next_arrival].time_ns <= dom.now())
-            admit(arrivals[next_arrival++]);
-        if (next_arrival < arrivals.size())
-            dom.schedule(arrivals[next_arrival].time_ns, kPriArrival,
-                         [this] { onArrival(); });
-        tryLaunch(dom.now());
-    }
-
-    void
-    onTimeout(size_t qi, uint64_t gen)
-    {
-        // A launch bumped the generation: this head no longer exists
-        // and the serial loop would never have woken here.
-        if (gen != head_gen[qi])
-            return;
-        tryLaunch(dom.now());
-    }
-
-    /**
-     * Close the run. end_ns cannot read dom.now(): stale timeouts
-     * legitimately advance the domain clock past the last state
-     * change. The serial loop's final `now` is provably
-     * max(busy_until, last arrival, 0) — every other advance target
-     * (a timeout it wakes for) immediately launches and is therefore
-     * <= the final busy_until.
-     */
-    ServeResult
-    finish()
-    {
-        int64_t end = std::max<int64_t>(busy_until, 0);
-        if (!arrivals.empty())
-            end = std::max(end, arrivals.back().time_ns);
-        result.end_ns = end;
-        noteDepthChange(end, 0); // close the depth integral
-        return std::move(result);
-    }
 };
 
 } // namespace
@@ -409,7 +90,7 @@ std::vector<ServeResult>
 runServeBatch(const std::vector<const ServeSim *> &sims)
 {
     DesEngine engine;
-    std::vector<std::unique_ptr<ServeDomainSim>> doms;
+    std::vector<std::unique_ptr<ServeDomainCore>> doms;
     doms.reserve(sims.size());
     for (size_t i = 0; i < sims.size(); ++i) {
         RAPID_CHECK_ARG(sims[i] != nullptr,
@@ -417,8 +98,8 @@ runServeBatch(const std::vector<const ServeSim *> &sims)
         const DomainId id =
             engine.addDomain("serve" + std::to_string(i));
         doms.push_back(
-            std::make_unique<ServeDomainSim>(*sims[i],
-                                             engine.domain(id)));
+            std::make_unique<ServeDomainCore>(*sims[i],
+                                              engine.domain(id)));
         doms.back()->start();
     }
     // No channels: the scenarios are independent, so the whole batch

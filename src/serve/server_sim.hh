@@ -62,17 +62,22 @@ struct RequestRecord
     int64_t completion_ns = -1; ///< batch completion, -1 when shed
     int64_t predicted_ns = -1;  ///< router's admission-time bound
     bool shed = false;
+    /// True when the hosting chip failed before completion (fleet
+    /// serving only; single-chip runs never set it). A failed request
+    /// is terminal on this chip — any retry is a fresh record on the
+    /// failover target.
+    bool failed = false;
 
     int64_t
     latencyNs() const
     {
-        return shed ? -1 : completion_ns - arrival_ns;
+        return shed || failed ? -1 : completion_ns - arrival_ns;
     }
 
     int64_t
     queueWaitNs() const
     {
-        return shed ? -1 : launch_ns - arrival_ns;
+        return shed || failed ? -1 : launch_ns - arrival_ns;
     }
 };
 

@@ -577,6 +577,39 @@ TEST(RecoveryLadder, EscalationRungSwitchesHfp8ToFp16)
     EXPECT_TRUE(s.closed());
 }
 
+TEST(RecoveryLadder, DeescalationCooldownReturnsToHfp8)
+{
+    const Dataset data = spiralData();
+    ResilienceConfig rc = faultedConfig(1e-3);
+    rc.enable_retry = false;
+    rc.enable_rollback = false; // first detection escalates
+    rc.enable_deescalation = true;
+    rc.deescalation_clean_steps = 5;
+    ResilientTrainer trainer(smallModel(), rc);
+    trainer.runSteps(data.slice(0, 192), kBatch, 120);
+    const RecoveryStats s = trainer.stats();
+    // FP16 is no longer terminal: after five consecutive clean steps
+    // the cooldown returns the model to its configured HFP8, and a
+    // later incident may escalate again.
+    EXPECT_GE(s.deescalations, 1u);
+    EXPECT_GE(s.escalations, s.deescalations);
+    EXPECT_TRUE(s.closed());
+    // The same run without the cooldown stays escalated forever.
+    rc.enable_deescalation = false;
+    ResilientTrainer pinned(smallModel(), rc);
+    pinned.runSteps(data.slice(0, 192), kBatch, 120);
+    EXPECT_EQ(pinned.stats().escalations, 1u);
+    EXPECT_EQ(pinned.stats().deescalations, 0u);
+    EXPECT_EQ(pinned.model().precision(), TrainPrecision::FP16);
+}
+
+TEST(RecoveryLadder, DeescalationValidationRejectsZeroCooldown)
+{
+    ResilienceConfig rc;
+    rc.deescalation_clean_steps = 0;
+    EXPECT_THROW(validateResilienceConfig(rc), Error);
+}
+
 TEST(RecoveryLadder, FullLadderRecoversCleanAccuracy)
 {
     // The acceptance bar: a faulted HFP8 run with the full recovery
@@ -642,6 +675,58 @@ TEST(Overhead, ChargesTheCheckpointLane)
     chargeCheckpoint(b, 10.0);
     EXPECT_NEAR(b.checkpoint, 10.0, 1e-12);
     EXPECT_NEAR(b.busy(), busy + 10.0, 1e-12);
+}
+
+TEST(Overhead, ReworkEstimatorTiersAndValidation)
+{
+    ReworkEstimator est(2);
+    // Fallback tier: before calibration the analytic worst case.
+    EXPECT_FALSE(est.calibrated());
+    EXPECT_NEAR(est.estimate(1.0, 10, 100.0),
+                expectedReworkFraction(1.0, 10, 100.0), 1e-12);
+    est.record(90, 10); // 10 replayed of 100 computed
+    EXPECT_FALSE(est.calibrated()); // one sample short
+    EXPECT_NEAR(est.estimate(1.0, 10, 100.0), 0.05, 1e-12);
+    est.record(95, 5);
+    EXPECT_TRUE(est.calibrated());
+    // Observed tier: (10 + 5) / (185 + 15) pooled across samples.
+    EXPECT_NEAR(est.observedFraction(), 15.0 / 200.0, 1e-12);
+    EXPECT_NEAR(est.estimate(1.0, 10, 100.0), 15.0 / 200.0, 1e-12);
+
+    EXPECT_THROW(ReworkEstimator(0), Error);
+    EXPECT_THROW(est.record(0, 3), Error);
+}
+
+TEST(Overhead, ReworkEstimatorPinsMeasuredRecoveryHistory)
+{
+    // The calibration loop the fleet uses: feed measured
+    // RecoveryStats.replayed samples and compare against the analytic
+    // prediction for the same checkpoint interval.
+    const Dataset data = spiralData();
+    ResilienceConfig rc = faultedConfig(1e-3);
+    rc.enable_retry = false; // detections go straight to rollback
+    rc.enable_escalation = false;
+    ReworkEstimator est(3);
+    uint64_t total_replayed = 0;
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+        ResilienceConfig run_rc = rc;
+        run_rc.fault = FaultConfig::withRate(1e-3, 0x5eed + seed);
+        ResilientTrainer trainer(smallModel(), run_rc);
+        trainer.runSteps(data.slice(0, 192), kBatch, 60);
+        const RecoveryStats s = trainer.stats();
+        ASSERT_TRUE(s.closed());
+        est.record(s.steps, s.replayed);
+        total_replayed += s.replayed;
+    }
+    ASSERT_GT(total_replayed, 0u); // the scenario does roll back
+    EXPECT_TRUE(est.calibrated());
+    EXPECT_NEAR(est.observedFraction(),
+                double(total_replayed) /
+                    double(180 + total_replayed), 1e-12);
+    // The measured fraction is finite, positive, and bounded by the
+    // every-step-lost-once clamp of the analytic model.
+    EXPECT_GT(est.estimate(1.0, 10, 1.0), 0.0);
+    EXPECT_LE(est.estimate(1.0, 10, 1.0), 1.0);
 }
 
 // ---------------------------------------------------------------------

@@ -393,9 +393,14 @@ TEST_F(ServeTest, RejectsNonPositiveDeadline)
     EXPECT_THROW(validateServeConfig(cfg), Error);
 }
 
-TEST_F(ServeTest, RejectsNonPositiveRate)
+TEST_F(ServeTest, RejectsNegativeRateAllowsZero)
 {
+    // Rate 0 is a sharded-away tenant (the fleet layer keeps every
+    // tenant in every chip's table so any chip can adopt its
+    // traffic); only negative/non-finite rates are invalid.
     ServeConfig cfg = singleTenantConfig(0.0);
+    EXPECT_NO_THROW(validateServeConfig(cfg));
+    cfg.tenants[0].arrival_rps = -1.0;
     EXPECT_THROW(validateServeConfig(cfg), Error);
 }
 

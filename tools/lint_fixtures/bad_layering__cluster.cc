@@ -1,0 +1,18 @@
+// Lint fixture: must trip the layering check (and only it). Linted
+// as src/precision/bad_layering__cluster.cc; the fleet layer sits
+// alone at tier 6, so any lower tier reaching up into cluster -- a
+// chip model observing its own failover -- is a planted back-edge.
+// The fixture pins that "cluster" is declared in the layering map at
+// all: an undeclared module would report "not in the declared
+// layering map" instead of the back-edge message.
+#include "cluster/fleet.hh"
+
+namespace rapid {
+
+int
+fixtureClusterBackEdge()
+{
+    return 6;
+}
+
+} // namespace rapid

@@ -1,6 +1,6 @@
 """Include graph and module layering DAG for rapid_analyzer.
 
-The 15 modules under src/ obey a declared dependency order (lower
+The 16 modules under src/ obey a declared dependency order (lower
 tiers never include higher ones):
 
     tier 0  common
@@ -9,6 +9,7 @@ tiers never include higher ones):
     tier 3  perf  power  compiler  func  sim
     tier 4  runtime  fault
     tier 5  serve  resilience
+    tier 6  cluster
 
 A quoted include whose target module sits on a *higher* tier than the
 including module is a forbidden back-edge ("layering"). Modules on the
@@ -28,6 +29,14 @@ the same reason: every simulator above it — the chip sim at tier 3,
 the serving front-end at tier 5 — schedules its virtual-clock events
 through the engine, so the engine may depend on nothing but the pool
 and error machinery beside it in common.
+
+The fleet layer (src/cluster) sits alone at tier 6: it composes
+whole ServeSims and ResilientTrainers behind a router, so it may
+reach down into serve, resilience, and the interconnect fabric
+model, but nothing below tier 6 may know a fleet exists — a serve
+chip that included cluster headers could observe its own failover,
+which is exactly the dependency inversion the router abstraction
+forbids.
 """
 
 from collections import namedtuple
@@ -51,6 +60,7 @@ MODULE_TIERS = {
     "fault": 4,
     "serve": 5,
     "resilience": 5,
+    "cluster": 6,
 }
 
 #: One include edge: src_rel/dst_rel are posix paths relative to the
@@ -139,7 +149,7 @@ class IncludeGraph:
                         "declared order is common -> precision/tensor "
                         "-> arch/interconnect/workloads -> perf/power/"
                         "compiler/func/sim -> runtime/fault -> "
-                        "serve/resilience"
+                        "serve/resilience -> cluster"
                         % (src_mod, src_tier, path, dst_mod, dst_tier)))
         return findings
 

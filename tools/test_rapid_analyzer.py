@@ -166,8 +166,8 @@ class GraphResolver(unittest.TestCase):
         self.assertEqual(module_of("src/common/log.hh"), "common")
         self.assertIsNone(module_of("tests/test_perf.cc"))
 
-    def test_tier_map_covers_fifteen_modules(self):
-        self.assertEqual(len(MODULE_TIERS), 15)
+    def test_tier_map_covers_sixteen_modules(self):
+        self.assertEqual(len(MODULE_TIERS), 16)
 
     def test_quote_include_resolves_to_src(self):
         g = IncludeGraph()
@@ -205,6 +205,22 @@ class LayeringPass(unittest.TestCase):
         self.assertEqual(findings[0].file, "src/precision/quantize.hh")
         self.assertEqual(findings[0].line, 7)
         self.assertIn("serve", findings[0].message)
+
+    def test_cluster_sits_above_serve(self):
+        # The fleet layer may reach down into serve; a serve chip
+        # including cluster headers would observe its own failover.
+        g = IncludeGraph()
+        g.add_file("src/cluster/fleet.hh",
+                   [(1, "serve/server_sim.hh", False),
+                    (2, "resilience/resilient_trainer.hh", False),
+                    (3, "interconnect/ring.hh", False)])
+        self.assertEqual(g.layering_findings(), [])
+        g2 = IncludeGraph()
+        g2.add_file("src/serve/server_sim.hh",
+                    [(4, "cluster/fleet.hh", False)])
+        findings = g2.layering_findings()
+        self.assertEqual([f.check for f in findings], ["layering"])
+        self.assertIn("cluster", findings[0].message)
 
     def test_unknown_module_reported(self):
         g = IncludeGraph()
