@@ -1,0 +1,73 @@
+/**
+ * @file
+ * "After" timing point for the FP8 decode LUT: the identical
+ * workload as fp8_decode_scalar (same seed, same buffer, same
+ * formats), but the decode half of every quantize goes through the
+ * 256-entry Fp8DecodeLut instead of the scalar bit-manipulation
+ * decoder. The printed checksums must match fp8_decode_scalar's
+ * byte for byte — the table is filled from the scalar decoder, so
+ * the two paths are bit-identical (pinned exhaustively by the
+ * property test in tests/test_float_format.cc). sweepMain writes
+ * this driver's wall-clock record next to the scalar one in
+ * BENCH_sweeps.json.
+ */
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/sweep.hh"
+#include "precision/decode_lut.hh"
+
+using namespace rapid;
+
+namespace {
+
+constexpr size_t kValues = 1u << 18; ///< buffer elements per format
+
+std::vector<float>
+makeBuffer()
+{
+    Rng rng(0xf8dec0deULL);
+    std::vector<float> buf(kValues);
+    for (float &v : buf)
+        v = float(rng.laplace(0.5));
+    return buf;
+}
+
+uint64_t
+fnv1a(uint64_t h, uint32_t word)
+{
+    h ^= word;
+    return h * 0x100000001b3ULL;
+}
+
+void
+runSweep()
+{
+    const std::vector<float> buf = makeBuffer();
+    std::printf("=== FP8 quantize, 256-entry LUT decode path: %zu "
+                "values per format ===\n\n", kValues);
+    auto run = [&](const FloatFormat &fmt) {
+        const Fp8DecodeLut lut(fmt);
+        uint64_t sum = 0xcbf29ce484222325ULL;
+        for (float v : buf)
+            sum = fnv1a(sum, std::bit_cast<uint32_t>(
+                                 lut.quantize(v, Rounding::NearestEven)));
+        std::printf("%-20s checksum 0x%016llx\n", fmt.name().c_str(),
+                    (unsigned long long)sum);
+    };
+    for (int bias = 1; bias <= 15; ++bias)
+        run(fp8e4m3(bias));
+    run(fp8e5m2());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return sweepMain("fp8_decode_lut", argc, argv, runSweep);
+}

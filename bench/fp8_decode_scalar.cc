@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Baseline ("before") timing point for the FP8 decode LUT: quantizes
+ * a deterministic Laplace-distributed buffer through every 8-bit
+ * format using the scalar FloatFormat codec (integer bit
+ * manipulation on both the encode and the decode half). The paired
+ * driver fp8_decode_lut runs the identical workload through the
+ * tabulated decode path; both print the same FNV-1a checksums (the
+ * two paths are bit-identical), and their sweepMain wall-clock
+ * records land side by side in BENCH_sweeps.json as the before/after
+ * measurement of ROADMAP item 3's hot-path slice.
+ */
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/sweep.hh"
+#include "precision/float_format.hh"
+
+using namespace rapid;
+
+namespace {
+
+constexpr size_t kValues = 1u << 18; ///< buffer elements per format
+
+std::vector<float>
+makeBuffer()
+{
+    // Laplace-shaped values, typical of trained weights; fixed seed
+    // so both drivers see the identical buffer.
+    Rng rng(0xf8dec0deULL);
+    std::vector<float> buf(kValues);
+    for (float &v : buf)
+        v = float(rng.laplace(0.5));
+    return buf;
+}
+
+uint64_t
+fnv1a(uint64_t h, uint32_t word)
+{
+    h ^= word;
+    return h * 0x100000001b3ULL;
+}
+
+void
+runSweep()
+{
+    const std::vector<float> buf = makeBuffer();
+    std::printf("=== FP8 quantize, scalar decode path: %zu values per "
+                "format ===\n\n", kValues);
+    auto run = [&](const FloatFormat &fmt) {
+        uint64_t sum = 0xcbf29ce484222325ULL;
+        for (float v : buf)
+            sum = fnv1a(sum, std::bit_cast<uint32_t>(
+                                 fmt.quantize(v, Rounding::NearestEven)));
+        std::printf("%-20s checksum 0x%016llx\n", fmt.name().c_str(),
+                    (unsigned long long)sum);
+    };
+    for (int bias = 1; bias <= 15; ++bias)
+        run(fp8e4m3(bias));
+    run(fp8e5m2());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return sweepMain("fp8_decode_scalar", argc, argv, runSweep);
+}

@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Assemble the llm-sweep results into BENCH_llm.json.
+
+llm_sweep appends one JSON record per serving scenario to the file
+named by RAPID_LLM_JSON ({"section": ..., "label": ..., request and
+token counters, the closed-accounting booleans, goodput / token
+throughput / TTFT / TPOT percentiles, decode occupancy and KV spill
+totals}). This script merges those lines — keeping the last record
+per (section, label) so reruns overwrite stale cells — HARD-FAILS if
+any record's request accounting (offered != completed + shed) or
+token accounting (planned != generated + dropped) is open (the ledger
+must close by construction, so an open record is a batcher bug, not a
+data point), writes the grouped records to BENCH_llm.json, and prints
+a per-policy goodput and occupancy summary of the batching ramp.
+
+Usage: assemble_llm.py <raw-jsonl> [<output-json>]
+       assemble_llm.py --self-test
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+
+def load_records(path):
+    records = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"{path}:{line_no}: bad llm record: {exc}"
+                )
+            records[(rec["section"], rec["label"])] = rec
+    return [records[k] for k in sorted(records)]
+
+
+def check_closed(path, records):
+    """Open accounting anywhere is a hard failure naming the cells:
+    a request or token the ledger lost track of would silently
+    inflate goodput or token throughput."""
+    open_requests = [
+        rec for rec in records if not rec["request_accounting_closed"]
+    ]
+    if open_requests:
+        cells = ", ".join(
+            f"{r['section']}/{r['label']}" for r in open_requests
+        )
+        raise SystemExit(
+            f"{path}: open request accounting in cells: {cells}"
+        )
+    open_tokens = [
+        rec for rec in records if not rec["token_accounting_closed"]
+    ]
+    if open_tokens:
+        cells = ", ".join(
+            f"{r['section']}/{r['label']}" for r in open_tokens
+        )
+        raise SystemExit(
+            f"{path}: open token accounting in cells: {cells}"
+        )
+
+
+def ramp_summary(records):
+    """Per batching policy over the ramp: peak goodput and worst
+    decode occupancy (live members per charged batch slot)."""
+    policies = {}
+    for rec in records:
+        if rec["section"] != "batching_ramp":
+            continue
+        policy = rec["label"].split("@")[0]
+        entry = policies.setdefault(policy, {
+            "points": 0,
+            "peak_goodput_rps": 0.0,
+            "worst_occupancy": None,
+            "tokens_per_s_peak": 0.0,
+        })
+        entry["points"] += 1
+        entry["peak_goodput_rps"] = max(entry["peak_goodput_rps"],
+                                        float(rec["goodput_rps"]))
+        entry["tokens_per_s_peak"] = max(entry["tokens_per_s_peak"],
+                                         float(rec["tokens_per_s"]))
+        batch = float(rec["mean_decode_batch"])
+        if batch > 0:
+            occ = float(rec["mean_decode_live"]) / batch
+            worst = entry["worst_occupancy"]
+            if worst is None or occ < worst:
+                entry["worst_occupancy"] = occ
+    return policies
+
+
+def assemble(raw_path, out_path):
+    records = load_records(raw_path)
+    if not records:
+        raise SystemExit(f"{raw_path}: no llm records found")
+    check_closed(raw_path, records)
+
+    sections = {}
+    for rec in records:
+        sections.setdefault(rec["section"], []).append(rec)
+    policies = ramp_summary(records)
+    out = {
+        "sections": sections,
+        "batching": [
+            {"policy": name, **entry}
+            for name, entry in sorted(policies.items())
+        ],
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(out, fh, indent=2)
+        fh.write("\n")
+    return records, sections, policies
+
+
+def report(out_path, records, sections, policies):
+    width = max((len(p) for p in policies), default=8) + 2
+    print(f"{'policy':<{width}}{'points':>7}{'peak goodput':>14}"
+          f"{'peak tok/s':>12}{'worst occupancy':>16}")
+    for name, entry in sorted(policies.items()):
+        occ = entry["worst_occupancy"]
+        occ_s = f"{occ:.3f}" if occ is not None else "-"
+        print(f"{name:<{width}}{entry['points']:>7}"
+              f"{entry['peak_goodput_rps']:>14.1f}"
+              f"{entry['tokens_per_s_peak']:>12.1f}{occ_s:>16}")
+    print(f"\nwrote {out_path} ({len(records)} records, "
+          f"{len(sections)} sections)")
+
+
+def _record(section, label, **extra):
+    rec = {
+        "section": section, "label": label, "offered": 100,
+        "completed": 95, "shed": 5, "sla_met": 90,
+        "ttft_violations": 3, "tpot_violations": 2,
+        "planned_tokens": 6400, "generated_tokens": 6080,
+        "dropped_tokens": 320, "request_accounting_closed": True,
+        "token_accounting_closed": True, "goodput_rps": 180.0,
+        "tokens_per_s": 12160.0, "ttft_p95_ms": 12.5,
+        "tpot_p95_ms": 0.4, "mean_decode_live": 6.5,
+        "mean_decode_batch": 7.2, "spill_ms": 0.0,
+        "energy_per_token_mj": 0.02,
+    }
+    rec.update(extra)
+    return rec
+
+
+def self_test():
+    """Fixture check: a clean grid assembles with the ramp summary;
+    an open request ledger and an open token ledger each hard-fail
+    naming the cell."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = os.path.join(tmp, "raw.jsonl")
+        out = os.path.join(tmp, "out.json")
+        good = [
+            _record("batching_ramp", "one-shot@400",
+                    goodput_rps=160.0, mean_decode_live=3.0,
+                    mean_decode_batch=7.5),
+            _record("batching_ramp", "continuous@400",
+                    goodput_rps=390.0),
+            _record("spill_cliff", "fp16-kv@ctx512", spill_ms=13.2),
+        ]
+        with open(raw, "w", encoding="utf-8") as fh:
+            for rec in good:
+                fh.write(json.dumps(rec) + "\n")
+        records, sections, policies = assemble(raw, out)
+        assert len(records) == 3, records
+        assert set(sections) == {"batching_ramp", "spill_cliff"}, \
+            sections
+        assert policies["one-shot"]["peak_goodput_rps"] == 160.0
+        assert abs(policies["one-shot"]["worst_occupancy"] -
+                   3.0 / 7.5) < 1e-9, policies
+
+        with open(raw, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(_record(
+                "batching_ramp", "one-shot@800",
+                request_accounting_closed=False,
+            )) + "\n")
+        try:
+            assemble(raw, out)
+        except SystemExit as exc:
+            assert "open request accounting" in str(exc), exc
+            assert "one-shot@800" in str(exc), exc
+        else:
+            raise SystemExit("self-test: open requests did not fail")
+
+        leak = os.path.join(tmp, "leak.jsonl")
+        with open(leak, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(_record(
+                "spill_cliff", "int4-kv@ctx256",
+                token_accounting_closed=False,
+            )) + "\n")
+        try:
+            assemble(leak, out)
+        except SystemExit as exc:
+            assert "open token accounting" in str(exc), exc
+            assert "int4-kv@ctx256" in str(exc), exc
+        else:
+            raise SystemExit("self-test: open tokens did not fail")
+
+        empty = os.path.join(tmp, "empty.jsonl")
+        open(empty, "w", encoding="utf-8").close()
+        try:
+            assemble(empty, out)
+        except SystemExit as exc:
+            assert "no llm records" in str(exc), exc
+        else:
+            raise SystemExit("self-test: empty input did not fail")
+
+    print("assemble_llm.py self-test passed")
+
+
+def main(argv):
+    args = list(argv[1:])
+    if args == ["--self-test"]:
+        self_test()
+        return 0
+    if len(args) not in (1, 2):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    raw_path = args[0]
+    out_path = args[1] if len(args) == 2 else "BENCH_llm.json"
+    records, sections, policies = assemble(raw_path, out_path)
+    report(out_path, records, sections, policies)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -29,13 +29,16 @@ ctest --test-dir build 2>&1 | tee test_output.txt || fail "ctest"
 # (assemble_serve.py -> BENCH_serve.json), resilience_sweep its
 # policy-grid cells (assemble_resilience.py -> BENCH_resilience.json),
 # and cluster_sweep its fleet scenarios (assemble_cluster.py ->
-# BENCH_cluster.json, hard-failing on open request accounting).
+# BENCH_cluster.json, hard-failing on open request accounting), and
+# llm_sweep its transformer-serving scenarios (assemble_llm.py ->
+# BENCH_llm.json, hard-failing on open request OR token accounting).
 export RAPID_SWEEP_JSON="$PWD/build/sweeps_raw.jsonl"
 export RAPID_SERVE_JSON="$PWD/build/serve_raw.jsonl"
 export RAPID_RESILIENCE_JSON="$PWD/build/resilience_raw.jsonl"
 export RAPID_CLUSTER_JSON="$PWD/build/cluster_raw.jsonl"
+export RAPID_LLM_JSON="$PWD/build/llm_raw.jsonl"
 rm -f "$RAPID_SWEEP_JSON" "$RAPID_SERVE_JSON" "$RAPID_RESILIENCE_JSON" \
-      "$RAPID_CLUSTER_JSON"
+      "$RAPID_CLUSTER_JSON" "$RAPID_LLM_JSON"
 (for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
     echo "===== $b"
@@ -48,7 +51,7 @@ rm -f "$RAPID_SWEEP_JSON" "$RAPID_SERVE_JSON" "$RAPID_RESILIENCE_JSON" \
 # for the DES engine's scaling record.
 HEAVY_SWEEPS="fig13_inference_latency fig14_inference_efficiency \
 fig15_training_throughput fault_sweep serve_sweep resilience_sweep \
-cluster_sweep"
+cluster_sweep llm_sweep"
 for fig in $HEAVY_SWEEPS; do
     build/bench/"$fig" --threads 1 > /dev/null || fail "$fig baseline"
 done
@@ -78,6 +81,11 @@ echo
 echo "===== fleet failover summary"
 python3 scripts/assemble_cluster.py "$RAPID_CLUSTER_JSON" \
     BENCH_cluster.json || fail "cluster report"
+
+echo
+echo "===== transformer serving summary"
+python3 scripts/assemble_llm.py "$RAPID_LLM_JSON" \
+    BENCH_llm.json || fail "llm report"
 
 (for e in build/examples/*; do
     [ -x "$e" ] && [ -f "$e" ] || continue

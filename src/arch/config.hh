@@ -166,6 +166,19 @@ struct ChipConfig
     }
 
     double memBytesPerSecond() const { return mem_gbps * kGiga; }
+
+    /**
+     * Aggregate corelet L0 scratchpad capacity over live cores, in
+     * bytes. This is the on-chip residency budget the LLM serving
+     * model sizes the per-layer KV working set against: the 4-core
+     * inference chip offers 4 x 2 x 64 KiB = 512 KiB.
+     */
+    uint64_t
+    scratchpadBytes() const
+    {
+        return uint64_t(activeCores()) * core.corelets *
+               uint64_t(core.corelet.l0_kib) * 1024;
+    }
 };
 
 /** A (possibly multi-chip) RaPiD system (Section IV-A). */

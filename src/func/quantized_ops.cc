@@ -5,6 +5,7 @@
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "precision/decode_lut.hh"
 
 namespace rapid {
 
@@ -94,10 +95,15 @@ quantizeWith(const Tensor &t, const FloatFormat &fmt, Rounding rounding)
 Tensor
 quantizeTensorFp8(const Tensor &t, Fp8Kind kind, const ExecConfig &cfg)
 {
-    const FloatFormat fmt = (kind == Fp8Kind::Forward)
-                                ? fp8e4m3(cfg.fwd_bias)
-                                : fp8e5m2();
-    return quantizeWith(t, fmt, cfg.rounding);
+    // Tabulated decode: one scalar decode per encoding to fill the
+    // 256-entry table, then a lookup per element instead of the full
+    // bit-manipulation decode (bit-identical; see decode_lut.hh).
+    const Fp8DecodeLut lut((kind == Fp8Kind::Forward)
+                               ? fp8e4m3(cfg.fwd_bias)
+                               : fp8e5m2());
+    Tensor out = t;
+    out.apply([&](float v) { return lut.quantize(v, cfg.rounding); });
+    return out;
 }
 
 Tensor

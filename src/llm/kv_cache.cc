@@ -1,0 +1,69 @@
+#include "llm/kv_cache.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace rapid {
+
+int64_t
+kvLayerBytesPerToken(const LlmModelConfig &model, Precision kv)
+{
+    RAPID_CHECK_ARG(model.d_model > 0,
+                    "kvLayerBytesPerToken: non-positive d_model");
+    // K and V rows: 2 * d_model elements, bit-packed (INT4 stores two
+    // elements per byte), rounded up to whole bytes per token.
+    const int64_t bits = 2 * model.d_model * operandBits(kv);
+    return (bits + 7) / 8;
+}
+
+int64_t
+kvResidentTokens(const LlmModelConfig &model, Precision kv,
+                 const ChipConfig &chip)
+{
+    return int64_t(chip.scratchpadBytes()) /
+           kvLayerBytesPerToken(model, kv);
+}
+
+int64_t
+kvSpillBytes(const LlmModelConfig &model, Precision kv,
+             const ChipConfig &chip, int64_t batch_context_tokens)
+{
+    RAPID_CHECK_ARG(batch_context_tokens >= 0,
+                    "kvSpillBytes: negative context ",
+                    batch_context_tokens);
+    const int64_t per_token = kvLayerBytesPerToken(model, kv);
+    const int64_t layer_bytes = batch_context_tokens * per_token;
+    const int64_t capacity = int64_t(chip.scratchpadBytes());
+    if (layer_bytes <= capacity)
+        return 0;
+    // The overflow is refetched from off-chip once per layer: the
+    // scratchpad region is reused layer to layer, so a batch that
+    // does not fit thrashes on every one of them.
+    return (layer_bytes - capacity) * model.layers;
+}
+
+int64_t
+kvSpillNs(const ChipConfig &chip, int64_t bytes)
+{
+    RAPID_CHECK_ARG(bytes >= 0, "kvSpillNs: negative bytes ", bytes);
+    if (bytes == 0)
+        return 0;
+    // Memory interface then ring, traversed in series (the refetch
+    // path from DRAM through the ring into the corelets).
+    const double seconds =
+        double(bytes) / chip.memBytesPerSecond() +
+        double(bytes) / chip.ringBytesPerSecond();
+    const int64_t ns = int64_t(std::ceil(seconds * 1e9));
+    return ns < 1 ? 1 : ns;
+}
+
+int64_t
+kvSpillStepNs(const LlmModelConfig &model, Precision kv,
+              const ChipConfig &chip, int64_t batch_context_tokens)
+{
+    return kvSpillNs(
+        chip, kvSpillBytes(model, kv, chip, batch_context_tokens));
+}
+
+} // namespace rapid

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * KV-cache residency model. During decode, each layer's attention
+ * streams that layer's K and V rows — 2 * d_model elements per cached
+ * token at the KV-cache storage precision. The chip processes layers
+ * one at a time, so the working set that wants to stay on-chip is the
+ * per-LAYER KV footprint of the whole decode batch; the same
+ * scratchpad region is reused layer to layer.
+ *
+ * When the batch's per-layer footprint fits the aggregate corelet
+ * scratchpad (ChipConfig::scratchpadBytes), the PerfModel latency in
+ * the frozen table already covers the KV streaming (the attention
+ * GEMMs' weight operands are the KV rows). When it does not fit, the
+ * overflow must be refetched from off-chip memory over the ring
+ * every layer — that thrash traffic is the spill penalty this model
+ * charges on top of each decode step.
+ *
+ * The precision ladder sets the cliff position: INT4 KV packs 4x the
+ * context of FP16 KV into the same scratchpad, so the spill cliff
+ * sits 4x further out in context length.
+ */
+
+#ifndef RAPID_LLM_KV_CACHE_HH
+#define RAPID_LLM_KV_CACHE_HH
+
+#include <cstdint>
+
+#include "arch/config.hh"
+#include "workloads/networks.hh"
+
+namespace rapid {
+
+/** Bytes of one layer's K+V rows for ONE cached token at @p kv
+ *  storage precision (2 * d_model elements, bit-packed, rounded up
+ *  to whole bytes). */
+int64_t kvLayerBytesPerToken(const LlmModelConfig &model, Precision kv);
+
+/** Cached tokens (across the whole decode batch) whose per-layer
+ *  K+V rows fit the chip's scratchpad — the resident context
+ *  capacity. */
+int64_t kvResidentTokens(const LlmModelConfig &model, Precision kv,
+                         const ChipConfig &chip);
+
+/**
+ * Off-chip bytes one decode step must refetch when the batch holds
+ * @p batch_context_tokens cached tokens in total: the per-layer
+ * overflow beyond scratchpad capacity, refetched once per layer.
+ * Zero while the batch fits.
+ */
+int64_t kvSpillBytes(const LlmModelConfig &model, Precision kv,
+                     const ChipConfig &chip,
+                     int64_t batch_context_tokens);
+
+/** Virtual nanoseconds to move @p bytes across the memory interface
+ *  and the on-chip ring in series (ceil to integer ns; 0 for 0). */
+int64_t kvSpillNs(const ChipConfig &chip, int64_t bytes);
+
+/** kvSpillNs(kvSpillBytes(...)): the per-step spill penalty. */
+int64_t kvSpillStepNs(const LlmModelConfig &model, Precision kv,
+                      const ChipConfig &chip,
+                      int64_t batch_context_tokens);
+
+} // namespace rapid
+
+#endif // RAPID_LLM_KV_CACHE_HH

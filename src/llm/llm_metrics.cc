@@ -1,0 +1,222 @@
+#include "llm/llm_metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace rapid {
+
+namespace {
+
+void
+finishTenant(LlmTenantMetrics &m, std::vector<int64_t> &ttfts,
+             std::vector<int64_t> &tpots, int64_t horizon_ns)
+{
+    std::sort(ttfts.begin(), ttfts.end());
+    m.ttft = summarizeLatencies(ttfts);
+    std::sort(tpots.begin(), tpots.end());
+    if (!tpots.empty()) {
+        double sum = 0;
+        for (int64_t v : tpots)
+            sum += double(v);
+        m.tpot_mean_ns = int64_t(sum / double(tpots.size()));
+        m.tpot_p95_ns = latencyPercentile(tpots, 0.95);
+    }
+    const double horizon_s = double(horizon_ns) * 1e-9;
+    m.goodput_rps = double(m.sla_met) / horizon_s;
+    m.offered_rps = double(m.offered) / horizon_s;
+    m.tokens_per_s = double(m.generated_tokens) / horizon_s;
+}
+
+} // namespace
+
+LlmMetrics
+computeLlmMetrics(const LlmServeConfig &cfg, const LlmResult &result)
+{
+    LlmMetrics out;
+    out.tenants.resize(cfg.tenants.size());
+    for (size_t ti = 0; ti < cfg.tenants.size(); ++ti) {
+        out.tenants[ti].name = cfg.tenants[ti].name;
+        out.tenants[ti].served_by_mode.assign(cfg.ladder.size(), 0);
+    }
+    out.total.name = "total";
+    out.total.served_by_mode.assign(cfg.ladder.size(), 0);
+
+    std::vector<std::vector<int64_t>> ttft(cfg.tenants.size());
+    std::vector<std::vector<int64_t>> tpot(cfg.tenants.size());
+    std::vector<int64_t> ttft_all, tpot_all;
+    for (const LlmRequestRecord &r : result.requests) {
+        LlmTenantMetrics &m = out.tenants[r.tenant];
+        ++m.offered;
+        ++out.total.offered;
+        m.planned_tokens += r.output_tokens;
+        out.total.planned_tokens += r.output_tokens;
+        if (r.shed) {
+            ++m.shed;
+            ++out.total.shed;
+            m.dropped_tokens += r.output_tokens;
+            out.total.dropped_tokens += r.output_tokens;
+            continue;
+        }
+        ++m.completed;
+        ++out.total.completed;
+        m.generated_tokens += r.generated_tokens;
+        out.total.generated_tokens += r.generated_tokens;
+        ++m.served_by_mode[size_t(r.mode)];
+        ++out.total.served_by_mode[size_t(r.mode)];
+        const int64_t t1 = r.ttftNs();
+        ttft[r.tenant].push_back(t1);
+        ttft_all.push_back(t1);
+        const LlmTenantConfig &tc = cfg.tenants[r.tenant];
+        const bool ttft_ok = t1 <= tc.ttft_deadline_ns;
+        bool tpot_ok = true;
+        if (r.generated_tokens >= 2) {
+            const int64_t tp = r.tpotNs();
+            tpot[r.tenant].push_back(tp);
+            tpot_all.push_back(tp);
+            tpot_ok = tp <= tc.tpot_deadline_ns;
+        }
+        if (!ttft_ok) {
+            ++m.ttft_violations;
+            ++out.total.ttft_violations;
+        }
+        if (!tpot_ok) {
+            ++m.tpot_violations;
+            ++out.total.tpot_violations;
+        }
+        if (ttft_ok && tpot_ok) {
+            ++m.sla_met;
+            ++out.total.sla_met;
+        }
+    }
+    for (size_t ti = 0; ti < cfg.tenants.size(); ++ti)
+        finishTenant(out.tenants[ti], ttft[ti], tpot[ti],
+                     result.horizon_ns);
+    finishTenant(out.total, ttft_all, tpot_all, result.horizon_ns);
+
+    for (const LlmStepRecord &s : result.steps) {
+        out.energy_j += s.energy_j;
+        if (s.kind == LlmStepKind::Prefill) {
+            ++out.prefill_steps;
+            continue;
+        }
+        ++out.decode_steps;
+        out.mean_decode_live += double(s.live);
+        out.mean_decode_batch += double(s.batch);
+        out.spill_ns_total += s.spill_ns;
+        if (s.spill_ns > 0)
+            ++out.spilled_steps;
+    }
+    if (out.decode_steps > 0) {
+        out.mean_decode_live /= double(out.decode_steps);
+        out.mean_decode_batch /= double(out.decode_steps);
+    }
+    if (out.total.generated_tokens > 0)
+        out.energy_per_token_mj = 1e3 * out.energy_j /
+                                  double(out.total.generated_tokens);
+    return out;
+}
+
+namespace {
+
+std::string
+ms(int64_t ns)
+{
+    return Table::fmt(double(ns) * 1e-6, 3);
+}
+
+std::string
+pctOf(uint64_t part, uint64_t whole)
+{
+    if (whole == 0)
+        return "-";
+    return Table::fmt(100.0 * double(part) / double(whole), 1) + "%";
+}
+
+} // namespace
+
+std::string
+llmReport(const LlmServeConfig &cfg, const LlmMetrics &m)
+{
+    std::vector<std::string> headers{
+        "Tenant",  "Offered/s", "Goodput/s", "Tok/s",
+        "Shed",    "TTFTv",     "TPOTv",     "TTFT p50",
+        "TTFT p95", "TPOT p95"};
+    for (const LlmMode &mode : cfg.ladder)
+        headers.push_back(llmModeName(mode));
+    Table t(headers);
+    auto row = [&](const LlmTenantMetrics &tm) {
+        std::vector<std::string> cells{
+            tm.name,
+            Table::fmt(tm.offered_rps, 1),
+            Table::fmt(tm.goodput_rps, 1),
+            Table::fmt(tm.tokens_per_s, 0),
+            pctOf(tm.shed, tm.offered),
+            pctOf(tm.ttft_violations, tm.completed),
+            pctOf(tm.tpot_violations, tm.completed),
+            ms(tm.ttft.p50),
+            ms(tm.ttft.p95),
+            ms(tm.tpot_p95_ns)};
+        for (uint64_t n : tm.served_by_mode)
+            cells.push_back(pctOf(n, tm.completed));
+        t.addRow(std::move(cells));
+    };
+    for (const LlmTenantMetrics &tm : m.tenants)
+        row(tm);
+    row(m.total);
+
+    std::ostringstream oss;
+    oss << t.str();
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "steps %llu prefill / %llu decode (live %.2f of "
+                  "batch %.2f), spill %.3f ms over %llu steps, "
+                  "%.4f mJ/token\n",
+                  (unsigned long long)m.prefill_steps,
+                  (unsigned long long)m.decode_steps,
+                  m.mean_decode_live, m.mean_decode_batch,
+                  double(m.spill_ns_total) * 1e-6,
+                  (unsigned long long)m.spilled_steps,
+                  m.energy_per_token_mj);
+    oss << buf;
+    return oss.str();
+}
+
+std::string
+llmJsonRecord(const std::string &section, const std::string &label,
+              const LlmMetrics &m)
+{
+    const LlmTenantMetrics &t = m.total;
+    std::ostringstream oss;
+    oss << "{\"section\":\"" << section << "\",\"label\":\"" << label
+        << "\",\"offered\":" << t.offered
+        << ",\"completed\":" << t.completed
+        << ",\"shed\":" << t.shed
+        << ",\"sla_met\":" << t.sla_met
+        << ",\"ttft_violations\":" << t.ttft_violations
+        << ",\"tpot_violations\":" << t.tpot_violations
+        << ",\"planned_tokens\":" << t.planned_tokens
+        << ",\"generated_tokens\":" << t.generated_tokens
+        << ",\"dropped_tokens\":" << t.dropped_tokens
+        << ",\"request_accounting_closed\":"
+        << (t.requestAccountingClosed() ? "true" : "false")
+        << ",\"token_accounting_closed\":"
+        << (t.tokenAccountingClosed() ? "true" : "false")
+        << ",\"goodput_rps\":" << Table::fmt(t.goodput_rps, 3)
+        << ",\"tokens_per_s\":" << Table::fmt(t.tokens_per_s, 3)
+        << ",\"ttft_p95_ms\":" << ms(t.ttft.p95)
+        << ",\"tpot_p95_ms\":" << ms(t.tpot_p95_ns)
+        << ",\"mean_decode_live\":"
+        << Table::fmt(m.mean_decode_live, 3)
+        << ",\"mean_decode_batch\":"
+        << Table::fmt(m.mean_decode_batch, 3)
+        << ",\"spill_ms\":"
+        << Table::fmt(double(m.spill_ns_total) * 1e-6, 3)
+        << ",\"energy_per_token_mj\":"
+        << Table::fmt(m.energy_per_token_mj, 4) << "}";
+    return oss.str();
+}
+
+} // namespace rapid

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic generation-request workload for the transformer
+ * serving simulator. Each tenant owns one mixSeed(seed, tenant) Rng
+ * stream from which it draws, in strict sequence per request, the
+ * arrival gap, the geometric prompt length, and the geometric output
+ * length — so the merged trace is a pure function of
+ * (config, model, seed), independent of thread count and of the
+ * other tenants.
+ */
+
+#ifndef RAPID_LLM_LLM_WORKLOAD_HH
+#define RAPID_LLM_LLM_WORKLOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "llm/llm_config.hh"
+#include "workloads/networks.hh"
+
+namespace rapid {
+
+/** One generation request entering the front-end. */
+struct LlmRequest
+{
+    uint64_t id = 0; ///< dense id in merged arrival order
+    unsigned tenant = 0;
+    int64_t arrival_ns = 0;
+    int64_t prompt_tokens = 0; ///< >= 1
+    int64_t output_tokens = 0; ///< >= 1; prompt + output <= max_context
+};
+
+/**
+ * The full merged trace over [0, horizon_ns), sorted by
+ * (time, tenant index) with dense ids in merged order. Prompt
+ * lengths are geometric around mean_prompt_tokens clamped to
+ * [1, max_context - 1]; output lengths geometric around
+ * mean_output_tokens clamped to [1, max_context - prompt].
+ */
+std::vector<LlmRequest> generateLlmRequests(
+    const LlmServeConfig &cfg, const LlmModelConfig &model);
+
+} // namespace rapid
+
+#endif // RAPID_LLM_LLM_WORKLOAD_HH

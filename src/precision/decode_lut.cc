@@ -1,0 +1,17 @@
+#include "precision/decode_lut.hh"
+
+#include "common/error.hh"
+
+namespace rapid {
+
+Fp8DecodeLut::Fp8DecodeLut(const FloatFormat &fmt) : fmt_(fmt), table_{}
+{
+    RAPID_CHECK_ARG(fmt.storageBits() == 8,
+                    "Fp8DecodeLut: format ", fmt.name(), " is ",
+                    fmt.storageBits(),
+                    " bits wide; only 8-bit formats are tabulated");
+    for (uint32_t p = 0; p < 256; ++p)
+        table_[p] = fmt_.decode(p);
+}
+
+} // namespace rapid

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 
+#include "precision/decode_lut.hh"
 #include "precision/float_format.hh"
 #include "precision/int_format.hh"
 
@@ -98,7 +99,12 @@ class MpeDatapath
   private:
     int fwdBias_;
     Rounding rounding_;
-    FloatFormat fwdFormat_;
+    /// Tabulated decode for the two FP8 input flavours (the quantize
+    /// hot path); rebuilt when the programmable bias changes. Decode
+    /// via the table is bit-identical to the scalar codec by
+    /// construction (see decode_lut.hh).
+    Fp8DecodeLut fwdLut_;
+    Fp8DecodeLut bwdLut_;
     uint64_t fmaCount_ = 0;
     uint64_t zeroGatedCount_ = 0;
 };

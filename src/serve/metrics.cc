@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "serve/queue_delay.hh"
 
 namespace rapid {
 
@@ -126,6 +129,47 @@ computeMetrics(const ServeConfig &cfg, const ServeResult &result)
     out.mean_queue_depth =
         span > 0 ? result.queue_depth_integral / double(span) : 0.0;
     out.max_queue_depth = result.max_queue_depth;
+
+    // Observed queue-delay slice: replay each completed request's
+    // wait into its (network, precision) queue's history-window
+    // estimator, in completion (launch) order so the window holds the
+    // most recent waits, and report the window stats beside the
+    // proven admission bounds on the same requests.
+    struct QueueAccum
+    {
+        QueueDelayEstimator est;
+        double bound_sum = 0;
+        int64_t bound_max = 0;
+        uint64_t samples = 0;
+    };
+    std::map<std::pair<std::string, int>, QueueAccum> queues;
+    std::vector<const RequestRecord *> done;
+    for (const RequestRecord &r : result.requests)
+        if (!r.shed && !r.failed)
+            done.push_back(&r);
+    std::stable_sort(done.begin(), done.end(),
+                     [](const RequestRecord *a, const RequestRecord *b) {
+                         return a->launch_ns < b->launch_ns;
+                     });
+    for (const RequestRecord *r : done) {
+        QueueAccum &q = queues[{cfg.tenants[r->tenant].network,
+                                int(r->precision)}];
+        q.est.record(r->queueWaitNs());
+        q.bound_sum += double(r->predicted_ns);
+        q.bound_max = std::max(q.bound_max, r->predicted_ns);
+        ++q.samples;
+    }
+    for (const auto &[key, q] : queues) {
+        QueueWaitMetrics w;
+        w.network = key.first;
+        w.precision = Precision(key.second);
+        w.samples = q.samples;
+        w.observed_mean_ns = q.est.meanNs();
+        w.observed_p95_ns = q.est.p95Ns();
+        w.bound_mean_ns = int64_t(q.bound_sum / double(q.samples));
+        w.bound_max_ns = q.bound_max;
+        out.queue_waits.push_back(w);
+    }
     return out;
 }
 

@@ -66,6 +66,27 @@ struct TenantMetrics
     }
 };
 
+/**
+ * Observed queue-delay slice for one (network, precision) batching
+ * queue: history-window mean/p95 of the waits completed requests
+ * actually experienced, reported beside the router's proven
+ * admission-time bound on the same requests. Observational only —
+ * admission still uses the proven bound (ROADMAP item 5). Every
+ * individual wait is covered by its own request's bound, so both
+ * window stats are always <= bound_max_ns; the mean-vs-mean gap is
+ * the headroom a calibrated router could reclaim.
+ */
+struct QueueWaitMetrics
+{
+    std::string network;
+    Precision precision = Precision::INT4;
+    uint64_t samples = 0;         ///< completed requests observed
+    int64_t observed_mean_ns = 0; ///< estimator window mean
+    int64_t observed_p95_ns = 0;  ///< estimator window p95
+    int64_t bound_mean_ns = 0;    ///< mean proven latency bound
+    int64_t bound_max_ns = 0;     ///< max proven latency bound
+};
+
 /** Whole-run aggregate view. */
 struct ServeMetrics
 {
@@ -77,6 +98,10 @@ struct ServeMetrics
     int64_t max_queue_depth = 0;
     double mean_batch_size = 0;
     uint64_t batches = 0;
+    /// Per-(network, precision) observed queue waits, ordered by
+    /// (network name, precision); queues that completed no request
+    /// are absent. Not rendered by serveReport/serveJsonRecord.
+    std::vector<QueueWaitMetrics> queue_waits;
 };
 
 /** Aggregate a raw simulation result. */

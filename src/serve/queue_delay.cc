@@ -1,0 +1,59 @@
+#include "serve/queue_delay.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "serve/metrics.hh"
+
+namespace rapid {
+
+QueueDelayEstimator::QueueDelayEstimator(size_t window)
+{
+    RAPID_CHECK_ARG(window > 0,
+                    "QueueDelayEstimator: zero history window");
+    window_.assign(window, 0);
+}
+
+void
+QueueDelayEstimator::record(int64_t wait_ns)
+{
+    RAPID_CHECK_ARG(wait_ns >= 0,
+                    "QueueDelayEstimator: negative wait ", wait_ns);
+    window_[next_] = wait_ns;
+    next_ = (next_ + 1) % window_.size();
+    if (next_ == 0)
+        full_ = true;
+    ++count_;
+}
+
+size_t
+QueueDelayEstimator::windowFill() const
+{
+    return full_ ? window_.size() : next_;
+}
+
+int64_t
+QueueDelayEstimator::meanNs() const
+{
+    const size_t n = windowFill();
+    if (n == 0)
+        return 0;
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i)
+        sum += double(window_[i]);
+    return int64_t(sum / double(n));
+}
+
+int64_t
+QueueDelayEstimator::p95Ns() const
+{
+    const size_t n = windowFill();
+    if (n == 0)
+        return 0;
+    std::vector<int64_t> sorted(window_.begin(),
+                                window_.begin() + long(n));
+    std::sort(sorted.begin(), sorted.end());
+    return latencyPercentile(sorted, 0.95);
+}
+
+} // namespace rapid

@@ -40,6 +40,45 @@ Network makeLstmPtb(int64_t seq_len = 35);
 /** 4-layer bidirectional LSTM acoustic model (SWB300). */
 Network makeBiLstmSwb(int64_t seq_len = 300);
 
+/**
+ * Decoder-only transformer shape for the LLM serving study
+ * (ROADMAP item 4). Sized so the per-layer KV working set interacts
+ * visibly with the chip's corelet scratchpad capacity — these are
+ * study models, not published checkpoints.
+ */
+struct LlmModelConfig
+{
+    std::string name;
+    int64_t d_model = 0;
+    int64_t heads = 0;
+    int64_t layers = 0;
+    int64_t d_ff = 0;
+    int64_t vocab = 0;
+    int64_t max_context = 0; ///< longest supported prompt + output
+
+    int64_t headDim() const { return d_model / heads; }
+};
+
+/** "llm-micro" (tests) or "llm-small" (bench); fatal on others. */
+LlmModelConfig llmModelByName(const std::string &name);
+
+/**
+ * Prefill pass: every prompt token through every layer as seq-length
+ * GEMMs, exactly the BERT encoder shape family (causal masking does
+ * not change the dense GEMM cost model).
+ */
+Network makeLlmPrefill(const LlmModelConfig &m, int64_t prompt_tokens);
+
+/**
+ * One decode step with @p context_tokens of KV history: per-layer
+ * GEMV workloads (m == 1) for QKV projection, attention scores and
+ * context against the streamed KV cache, output projection and FFN,
+ * plus the LM head. The attention GEMMs' "weights" are the KV rows —
+ * that is the per-token KV streaming cost.
+ */
+Network makeLlmDecodeStep(const LlmModelConfig &m,
+                          int64_t context_tokens);
+
 /** All 11 benchmarks in the paper's presentation order. */
 std::vector<Network> allBenchmarks();
 

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Decoder-only transformer shapes for the LLM serving study: a
+ * prefill network (prompt-length GEMMs, the BERT shape family) and a
+ * single decode step (GEMV workloads against the KV history). The
+ * decode step is the unit the continuous batcher schedules; its MAC
+ * count per layer is 4*d^2 + 2*d*d_ff + 2*ctx*d plus d*vocab for the
+ * LM head, pinned by hand in tests/test_llm.cc.
+ */
+
+#include "workloads/networks.hh"
+
+#include "common/error.hh"
+#include "workloads/net_builder.hh"
+
+namespace rapid {
+
+namespace {
+
+void
+checkModel(const LlmModelConfig &m)
+{
+    RAPID_CHECK_CONFIG(m.d_model > 0 && m.heads > 0 && m.layers > 0 &&
+                           m.d_ff > 0 && m.vocab > 0 &&
+                           m.max_context > 0,
+                       "LLM model '", m.name,
+                       "': all dimensions must be positive");
+    RAPID_CHECK_CONFIG(m.d_model % m.heads == 0, "LLM model '", m.name,
+                       "': d_model ", m.d_model,
+                       " not divisible by heads ", m.heads);
+}
+
+} // namespace
+
+LlmModelConfig
+llmModelByName(const std::string &name)
+{
+    // llm-micro keeps test arithmetic hand-checkable; llm-small is
+    // big enough that the KV working set crosses the scratchpad
+    // capacity within the swept context range.
+    if (name == "llm-micro")
+        return {"llm-micro", 256, 4, 4, 1024, 8192, 2048};
+    if (name == "llm-small")
+        return {"llm-small", 512, 8, 8, 2048, 16384, 4096};
+    rapid_fatal("unknown LLM model '", name, "'");
+}
+
+Network
+makeLlmPrefill(const LlmModelConfig &m, int64_t prompt_tokens)
+{
+    checkModel(m);
+    RAPID_CHECK_ARG(prompt_tokens > 0 &&
+                        prompt_tokens <= m.max_context,
+                    "prefill: prompt ", prompt_tokens,
+                    " outside (0, ", m.max_context, "]");
+    const int64_t d = m.d_model, hd = m.headDim();
+    NetBuilder b(m.name + ".prefill", "nlp", 1, 1, 1);
+    b.aux("embedding", AuxKind::Embedding, prompt_tokens * d);
+    for (int64_t l = 0; l < m.layers; ++l) {
+        const std::string p = "layer" + std::to_string(l);
+        b.gemm(p + ".qkv", prompt_tokens, d, 3 * d);
+        b.gemm(p + ".scores", prompt_tokens, hd, prompt_tokens,
+               m.heads);
+        b.aux(p + ".softmax", AuxKind::Softmax,
+              m.heads * prompt_tokens * prompt_tokens);
+        b.gemm(p + ".context", prompt_tokens, prompt_tokens, hd,
+               m.heads);
+        b.gemm(p + ".out_proj", prompt_tokens, d, d);
+        b.aux(p + ".add1", AuxKind::Eltwise, prompt_tokens * d);
+        b.aux(p + ".ln1", AuxKind::LayerNorm, prompt_tokens * d);
+        b.gemm(p + ".ffn1", prompt_tokens, d, m.d_ff);
+        b.aux(p + ".gelu", AuxKind::Gelu, prompt_tokens * m.d_ff);
+        b.gemm(p + ".ffn2", prompt_tokens, m.d_ff, d);
+        b.aux(p + ".add2", AuxKind::Eltwise, prompt_tokens * d);
+        b.aux(p + ".ln2", AuxKind::LayerNorm, prompt_tokens * d);
+    }
+    return std::move(b).build();
+}
+
+Network
+makeLlmDecodeStep(const LlmModelConfig &m, int64_t context_tokens)
+{
+    checkModel(m);
+    RAPID_CHECK_ARG(context_tokens > 0 &&
+                        context_tokens <= m.max_context,
+                    "decode step: context ", context_tokens,
+                    " outside (0, ", m.max_context, "]");
+    const int64_t d = m.d_model, hd = m.headDim(),
+                  ctx = context_tokens;
+    NetBuilder b(m.name + ".decode", "nlp", 1, 1, 1);
+    for (int64_t l = 0; l < m.layers; ++l) {
+        const std::string p = "layer" + std::to_string(l);
+        b.gemm(p + ".qkv", 1, d, 3 * d);
+        // Streamed-KV attention: the (hd x ctx) score operand and the
+        // (ctx x hd) context operand are the layer's K and V rows.
+        b.gemm(p + ".scores", 1, hd, ctx, m.heads);
+        b.aux(p + ".softmax", AuxKind::Softmax, m.heads * ctx);
+        b.gemm(p + ".context", 1, ctx, hd, m.heads);
+        b.gemm(p + ".out_proj", 1, d, d);
+        b.aux(p + ".add1", AuxKind::Eltwise, d);
+        b.aux(p + ".ln1", AuxKind::LayerNorm, d);
+        b.gemm(p + ".ffn1", 1, d, m.d_ff);
+        b.aux(p + ".gelu", AuxKind::Gelu, m.d_ff);
+        b.gemm(p + ".ffn2", 1, m.d_ff, d);
+        b.aux(p + ".add2", AuxKind::Eltwise, d);
+        b.aux(p + ".ln2", AuxKind::LayerNorm, d);
+    }
+    b.gemm("lm_head", 1, d, m.vocab);
+    b.aux("sample", AuxKind::Softmax, m.vocab);
+    return std::move(b).build();
+}
+
+} // namespace rapid

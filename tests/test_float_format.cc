@@ -6,12 +6,15 @@
  * stage is exact (Section III-A.2).
  */
 
+#include <bit>
 #include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "common/random.hh"
+#include "precision/decode_lut.hh"
 #include "precision/float_format.hh"
 
 namespace rapid {
@@ -406,6 +409,59 @@ TEST(CrossFormat, RoundingModeContracts)
             }
         }
     }
+}
+
+/**
+ * Property test pinning the decode LUT to the scalar codec over ALL
+ * 256 encodings of every 8-bit format the datapath uses (each
+ * programmable forward bias plus the backward format). Compared as
+ * bit patterns so a NaN encoding cannot hide behind NaN != NaN.
+ */
+TEST(DecodeLut, BitIdenticalToScalarForAll256Encodings)
+{
+    std::vector<FloatFormat> formats;
+    for (int bias = 1; bias <= 15; ++bias)
+        formats.push_back(fp8e4m3(bias));
+    formats.push_back(fp8e5m2());
+    for (const FloatFormat &fmt : formats) {
+        ASSERT_EQ(fmt.numEncodings(), 256u) << fmt.name();
+        const Fp8DecodeLut lut(fmt);
+        for (uint32_t p = 0; p < 256; ++p) {
+            const uint32_t scalar =
+                std::bit_cast<uint32_t>(fmt.decode(p));
+            const uint32_t tabulated =
+                std::bit_cast<uint32_t>(lut.decode(p));
+            EXPECT_EQ(scalar, tabulated)
+                << fmt.name() << " pattern " << p;
+        }
+    }
+}
+
+/** The LUT-backed quantize matches the scalar quantize in every
+ *  rounding mode (the composition the hot paths actually run). */
+TEST(DecodeLut, QuantizeMatchesScalarInEveryRoundingMode)
+{
+    Rng rng(202);
+    for (const FloatFormat &fmt : {fp8e4m3(4), fp8e4m3(9), fp8e5m2()}) {
+        const Fp8DecodeLut lut(fmt);
+        for (int i = 0; i < 2000; ++i) {
+            const float x = float(rng.laplace(0.7));
+            for (Rounding mode :
+                 {Rounding::NearestEven, Rounding::NearestUp,
+                  Rounding::Truncate}) {
+                EXPECT_EQ(std::bit_cast<uint32_t>(fmt.quantize(x, mode)),
+                          std::bit_cast<uint32_t>(lut.quantize(x, mode)))
+                    << fmt.name() << " x=" << x;
+            }
+        }
+    }
+}
+
+/** Only 8-bit formats admit the 256-entry table. */
+TEST(DecodeLut, RejectsNonEightBitFormats)
+{
+    EXPECT_THROW(Fp8DecodeLut{dlfloat16()}, Error);
+    EXPECT_THROW(Fp8DecodeLut{fp9()}, Error);
 }
 
 } // namespace

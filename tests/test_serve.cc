@@ -16,7 +16,9 @@
 
 #include "common/error.hh"
 #include "common/parallel.hh"
+#include "common/random.hh"
 #include "serve/metrics.hh"
+#include "serve/queue_delay.hh"
 #include "serve/server_sim.hh"
 #include "serve/workload.hh"
 
@@ -372,6 +374,63 @@ TEST_F(ServeTest, EnergyAccountingMatchesBatches)
     EXPECT_DOUBLE_EQ(m.mean_batch_size,
                      double(sized) / double(r.batches.size()));
     EXPECT_GT(m.energy_per_request_mj, 0.0);
+}
+
+TEST_F(ServeTest, QueueDelayEstimatorWindowStatsAreExact)
+{
+    // A repeating 8-value cycle fills the 256-slot window with exactly
+    // 32 copies of each value, so the window stats are computable by
+    // hand: mean 450, nearest-rank p95 at rank 244 -> 800.
+    QueueDelayEstimator est(256);
+    EXPECT_EQ(est.meanNs(), 0);
+    EXPECT_EQ(est.p95Ns(), 0);
+    for (int rep = 0; rep < 100; ++rep)
+        for (int64_t v = 100; v <= 800; v += 100)
+            est.record(v);
+    EXPECT_EQ(est.count(), 800u);
+    EXPECT_EQ(est.windowFill(), 256u);
+    EXPECT_EQ(est.meanNs(), 450);
+    EXPECT_EQ(est.p95Ns(), 800);
+    EXPECT_THROW(est.record(-1), Error);
+    EXPECT_THROW(QueueDelayEstimator{0}, Error);
+}
+
+TEST_F(ServeTest, QueueDelayEstimatorConvergesOnStationaryWorkload)
+{
+    // On a stationary stream the window mean must settle near the
+    // distribution mean and stay there as the window slides; an old
+    // transient must be fully evicted.
+    QueueDelayEstimator est(256);
+    for (int i = 0; i < 256; ++i)
+        est.record(1'000'000); // transient burst before steady state
+    Rng rng(77);
+    for (int i = 0; i < 4096; ++i)
+        est.record(rng.uniformInt(900, 1100));
+    EXPECT_EQ(est.count(), 256u + 4096u);
+    EXPECT_GE(est.meanNs(), 950);
+    EXPECT_LE(est.meanNs(), 1050);
+    EXPECT_GE(est.p95Ns(), 1050);
+    EXPECT_LE(est.p95Ns(), 1100);
+}
+
+TEST_F(ServeTest, ObservedQueueWaitsSitUnderProvenBound)
+{
+    const ServeConfig cfg = singleTenantConfig(1500.0);
+    const ServeResult r = ServeSim(makeInferenceChip(), cfg).run();
+    const ServeMetrics m = computeMetrics(cfg, r);
+    ASSERT_FALSE(m.queue_waits.empty());
+    uint64_t samples = 0;
+    for (const QueueWaitMetrics &w : m.queue_waits) {
+        EXPECT_GT(w.samples, 0u);
+        samples += w.samples;
+        // Every individual wait is covered by its own request's
+        // proven bound, so the window stats sit under the max bound.
+        EXPECT_LE(w.observed_mean_ns, w.bound_max_ns);
+        EXPECT_LE(w.observed_p95_ns, w.bound_max_ns);
+        EXPECT_GE(w.observed_mean_ns, 0);
+        EXPECT_GE(w.bound_mean_ns, 0);
+    }
+    EXPECT_EQ(samples, m.total.completed);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,18 @@
+// Lint fixture: must trip the layering check (and only it). Linted
+// as src/precision/bad_layering__llm.cc; the transformer serving
+// layer sits at tier 5 beside serve, so a tier-1 precision file
+// reaching up into llm -- a number format that knows about KV caches
+// -- is a planted back-edge. The fixture pins that "llm" is declared
+// in the layering map at all: an undeclared module would report "not
+// in the declared layering map" instead of the back-edge message.
+#include "llm/kv_cache.hh"
+
+namespace rapid {
+
+int
+fixtureLlmBackEdge()
+{
+    return 5;
+}
+
+} // namespace rapid

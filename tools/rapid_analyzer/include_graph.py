@@ -1,6 +1,6 @@
 """Include graph and module layering DAG for rapid_analyzer.
 
-The 16 modules under src/ obey a declared dependency order (lower
+The 17 modules under src/ obey a declared dependency order (lower
 tiers never include higher ones):
 
     tier 0  common
@@ -8,7 +8,7 @@ tiers never include higher ones):
     tier 2  arch  interconnect  workloads
     tier 3  perf  power  compiler  func  sim
     tier 4  runtime  fault
-    tier 5  serve  resilience
+    tier 5  serve  resilience  llm
     tier 6  cluster
 
 A quoted include whose target module sits on a *higher* tier than the
@@ -60,6 +60,7 @@ MODULE_TIERS = {
     "fault": 4,
     "serve": 5,
     "resilience": 5,
+    "llm": 5,
     "cluster": 6,
 }
 
@@ -149,7 +150,7 @@ class IncludeGraph:
                         "declared order is common -> precision/tensor "
                         "-> arch/interconnect/workloads -> perf/power/"
                         "compiler/func/sim -> runtime/fault -> "
-                        "serve/resilience -> cluster"
+                        "serve/resilience/llm -> cluster"
                         % (src_mod, src_tier, path, dst_mod, dst_tier)))
         return findings
 

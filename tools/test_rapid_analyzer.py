@@ -166,8 +166,8 @@ class GraphResolver(unittest.TestCase):
         self.assertEqual(module_of("src/common/log.hh"), "common")
         self.assertIsNone(module_of("tests/test_perf.cc"))
 
-    def test_tier_map_covers_sixteen_modules(self):
-        self.assertEqual(len(MODULE_TIERS), 16)
+    def test_tier_map_covers_seventeen_modules(self):
+        self.assertEqual(len(MODULE_TIERS), 17)
 
     def test_quote_include_resolves_to_src(self):
         g = IncludeGraph()
@@ -221,6 +221,23 @@ class LayeringPass(unittest.TestCase):
         findings = g2.layering_findings()
         self.assertEqual([f.check for f in findings], ["layering"])
         self.assertIn("cluster", findings[0].message)
+
+    def test_llm_sits_beside_serve(self):
+        # The transformer layer shares tier 5 with serve (it reuses
+        # the frozen LatencyTable); an arch file including llm
+        # headers would be a back-edge.
+        g = IncludeGraph()
+        g.add_file("src/llm/llm_sim.hh",
+                   [(1, "serve/latency_table.hh", False),
+                    (2, "arch/config.hh", False),
+                    (3, "workloads/networks.hh", False)])
+        self.assertEqual(g.layering_findings(), [])
+        g2 = IncludeGraph()
+        g2.add_file("src/arch/config.hh",
+                    [(4, "llm/kv_cache.hh", False)])
+        findings = g2.layering_findings()
+        self.assertEqual([f.check for f in findings], ["layering"])
+        self.assertIn("llm", findings[0].message)
 
     def test_unknown_module_reported(self):
         g = IncludeGraph()
