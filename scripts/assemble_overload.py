@@ -1,0 +1,455 @@
+#!/usr/bin/env python3
+"""Assemble the overload-sweep results into BENCH_overload.json.
+
+overload_sweep appends one JSON record per grid point to the file
+named by RAPID_OVERLOAD_JSON. The log is heterogeneous on purpose:
+serve-shaped records (knee/fuse/brownout/breaker sections, keyed by
+"policy"), cluster-shaped records (retry_storm/retry_budget, keyed by
+"policy"), and llm-shaped records (llm_tpot, keyed by "label") share
+one file, discriminated by section. This script merges the lines —
+keeping the last record per (section, policy/label, offered load) so
+reruns overwrite stale cells — and HARD-FAILS on any of:
+
+  * open accounting anywhere: per-tier admission ("tier_closed",
+    offered == admitted_calibrated + admitted_bound + shed), the
+    fleet ledger ("closed", offered == completed + shed + failed +
+    shed_budget), or the llm request/token ledgers;
+  * a knee headline that does not hold: at the highest offered load
+    of the knee section, the calibrated tier must recover at least
+    half of the bound's shed without adding SLA violations;
+  * a fuse demo that does not demonstrate: the fused run must
+    actually trip (>= 1) and must not violate more than the no-fuse
+    contrast;
+  * a retry budget that does not bound: the budget run must deny
+    retries, convert them to accounted sheds, and retry strictly
+    less than the no-budget storm.
+
+Sections named via --require that have no record are a hard failure
+(the bench run that should have appended them never completed).
+Everything that passes is grouped by section into
+BENCH_overload.json with a headline summary block.
+
+Usage: assemble_overload.py <raw-jsonl> [<output-json>]
+           [--require section1,section2,...]
+       assemble_overload.py --self-test
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+
+def record_key(rec):
+    """(section, policy-or-label, offered) — the offered axis keeps
+    the knee scale points distinct within one section."""
+    who = rec.get("policy", rec.get("label", ""))
+    offered = float(rec.get("offered_rps", rec.get("offered", 0)))
+    return (rec["section"], who, offered)
+
+
+def load_records(path):
+    records = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"{path}:{line_no}: bad overload record: {exc}"
+                )
+            records[record_key(rec)] = rec
+    return [records[k] for k in sorted(records)]
+
+
+def cell_name(rec):
+    who = rec.get("policy", rec.get("label", "?"))
+    return f"{rec['section']}/{who}"
+
+
+def check_closed(path, records):
+    """Open accounting anywhere is a hard failure naming the cells:
+    the overload tiers exist to *re-route* load, so a request that
+    fell between tiers would silently inflate the recovery story."""
+    for field, label in (
+        ("tier_closed", "per-tier admission"),
+        ("closed", "fleet ledger"),
+        ("request_accounting_closed", "llm request"),
+        ("token_accounting_closed", "llm token"),
+    ):
+        bad = [r for r in records if field in r and not r[field]]
+        if bad:
+            cells = ", ".join(cell_name(r) for r in bad)
+            raise SystemExit(
+                f"{path}: open {label} accounting in cells: {cells}"
+            )
+
+
+def check_required(path, records, required):
+    present = {rec["section"] for rec in records}
+    missing = [s for s in required if s not in present]
+    if missing:
+        raise SystemExit(
+            f"{path}: missing overload sections: "
+            + ", ".join(missing)
+            + " (the bench run that should have appended them never "
+            "completed)"
+        )
+
+
+def knee_headline(path, records):
+    """The tentpole number: at the knee (highest offered load of the
+    knee section) the calibrated tier must recover >= half of the
+    bound's shed with no additional SLA violations."""
+    by_offered = {}
+    for rec in records:
+        if rec["section"] != "knee":
+            continue
+        by_offered.setdefault(float(rec["offered_rps"]), {})[
+            rec["policy"]] = rec
+    if not by_offered:
+        return None
+    knee = by_offered[max(by_offered)]
+    if "bound" not in knee or "calibrated" not in knee:
+        raise SystemExit(
+            f"{path}: knee section lacks a bound/calibrated pair"
+        )
+    bound, cal = knee["bound"], knee["calibrated"]
+    shed_b, shed_c = int(bound["shed"]), int(cal["shed"])
+    viol_b = int(bound["violations"])
+    viol_c = int(cal["violations"])
+    recovery = (shed_b - shed_c) / shed_b if shed_b > 0 else 0.0
+    if recovery < 0.5:
+        raise SystemExit(
+            f"{path}: knee recovery {recovery:.1%} < 50% "
+            f"(bound shed {shed_b}, calibrated shed {shed_c})"
+        )
+    if viol_c > viol_b:
+        raise SystemExit(
+            f"{path}: calibrated tier added SLA violations at the "
+            f"knee ({viol_b} -> {viol_c})"
+        )
+    return {
+        "knee_offered_rps": float(bound["offered_rps"]),
+        "bound_shed": shed_b,
+        "calibrated_shed": shed_c,
+        "recovery": recovery,
+        "bound_violations": viol_b,
+        "calibrated_violations": viol_c,
+    }
+
+
+def fuse_headline(path, records):
+    """The pinned fallback demo: the fused run trips at least once
+    and does not violate more than the no-fuse contrast."""
+    cells = {
+        rec["policy"]: rec
+        for rec in records if rec["section"] == "fuse"
+    }
+    if not cells:
+        return None
+    nofuse = cells.get("calibrated-nofuse")
+    fused = cells.get("calibrated-fuse")
+    if nofuse is None or fused is None:
+        raise SystemExit(
+            f"{path}: fuse section lacks a fuse/nofuse pair"
+        )
+    if int(fused["fuse_trips"]) < 1:
+        raise SystemExit(f"{path}: the trust fuse never tripped")
+    if int(fused["violations"]) > int(nofuse["violations"]):
+        raise SystemExit(
+            f"{path}: the fuse made violations worse "
+            f"({nofuse['violations']} -> {fused['violations']})"
+        )
+    return {
+        "violations_nofuse": int(nofuse["violations"]),
+        "violations_fuse": int(fused["violations"]),
+        "fuse_trips": int(fused["fuse_trips"]),
+    }
+
+
+def budget_headline(path, records):
+    """Retry budgets must bound the storm: deny some retries, account
+    every denial as a shed, and retry strictly less than the
+    no-budget contrast."""
+    storm = budget = None
+    for rec in records:
+        if rec["section"] == "retry_storm":
+            storm = rec
+        elif rec["section"] == "retry_budget":
+            budget = rec
+    if storm is None and budget is None:
+        return None
+    if storm is None or budget is None:
+        raise SystemExit(
+            f"{path}: retry budget demo lacks its storm contrast"
+        )
+    if int(budget["retries_denied"]) < 1:
+        raise SystemExit(f"{path}: the retry budget denied nothing")
+    if int(budget["shed_budget"]) < 1:
+        raise SystemExit(
+            f"{path}: denied retries were not converted to sheds"
+        )
+    if int(budget["retries"]) >= int(storm["retries"]):
+        raise SystemExit(
+            f"{path}: budget did not bound retries "
+            f"({storm['retries']} -> {budget['retries']})"
+        )
+    return {
+        "storm_retries": int(storm["retries"]),
+        "budget_retries": int(budget["retries"]),
+        "retries_denied": int(budget["retries_denied"]),
+        "shed_budget": int(budget["shed_budget"]),
+    }
+
+
+def assemble(raw_path, out_path, required=()):
+    records = load_records(raw_path)
+    if not records:
+        raise SystemExit(f"{raw_path}: no overload records found")
+    check_required(raw_path, records, required)
+    check_closed(raw_path, records)
+
+    headlines = {}
+    for name, fn in (("knee", knee_headline),
+                     ("fuse", fuse_headline),
+                     ("retry_budget", budget_headline)):
+        head = fn(raw_path, records)
+        if head is not None:
+            headlines[name] = head
+
+    sections = {}
+    for rec in records:
+        sections.setdefault(rec["section"], []).append(rec)
+    out = {"sections": sections, "headlines": headlines}
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(out, fh, indent=2)
+        fh.write("\n")
+    return records, sections, headlines
+
+
+def report(out_path, records, sections, headlines):
+    if "knee" in headlines:
+        h = headlines["knee"]
+        print(f"knee: calibrated recovers {h['recovery']:.1%} of the "
+              f"bound's shed ({h['bound_shed']} -> "
+              f"{h['calibrated_shed']}), violations "
+              f"{h['bound_violations']} -> "
+              f"{h['calibrated_violations']}")
+    if "fuse" in headlines:
+        h = headlines["fuse"]
+        print(f"fuse: {h['violations_nofuse']} violations -> "
+              f"{h['violations_fuse']} with {h['fuse_trips']} "
+              f"trip(s)")
+    if "retry_budget" in headlines:
+        h = headlines["retry_budget"]
+        print(f"budget: retries {h['storm_retries']} -> "
+              f"{h['budget_retries']}, {h['retries_denied']} denied, "
+              f"{h['shed_budget']} accounted as shed")
+    print(f"\nwrote {out_path} ({len(records)} records, "
+          f"{len(sections)} sections)")
+
+
+def _serve_record(section, policy, **extra):
+    rec = {
+        "section": section, "policy": policy, "offered_rps": 2000.0,
+        "goodput_rps": 1800.0, "offered": 2000, "completed": 1800,
+        "shed": 200, "failed": 0, "violations": 0,
+        "admitted_calibrated": 0, "admitted_bound": 1800,
+        "shed_admission": 200, "shed_brownout": 0, "fuse_trips": 0,
+        "breaker_opens": 0, "breaker_closes": 0,
+        "brownout_max_level": 0, "tier_closed": True,
+    }
+    rec.update(extra)
+    return rec
+
+
+def _cluster_record(section, **extra):
+    rec = {
+        "section": section, "policy": "failover-restore",
+        "num_chips": 4, "failure_rate": 0.0, "offered": 1000,
+        "completed": 980, "shed": 0, "failed": 20, "failed_over": 50,
+        "shed_budget": 0, "retries_denied": 0, "retries": 100,
+        "closed": True,
+    }
+    rec.update(extra)
+    return rec
+
+
+def _llm_record(label, **extra):
+    rec = {
+        "section": "llm_tpot", "label": label, "offered": 80,
+        "completed": 60, "shed": 20, "tpot_violations": 0,
+        "admitted_calibrated": 0, "admitted_bound": 60,
+        "fuse_trips": 0, "tier_closed": True,
+        "request_accounting_closed": True,
+        "token_accounting_closed": True,
+    }
+    rec.update(extra)
+    return rec
+
+
+def _good_fixture():
+    return [
+        _serve_record("knee", "bound", offered_rps=1000.0, shed=100),
+        _serve_record("knee", "calibrated", offered_rps=1000.0,
+                      shed=60, admitted_calibrated=1500,
+                      admitted_bound=440, completed=1940),
+        _serve_record("knee", "bound", offered_rps=2000.0, shed=300),
+        _serve_record("knee", "calibrated", offered_rps=2000.0,
+                      shed=20, admitted_calibrated=1700,
+                      admitted_bound=280, completed=1980),
+        _serve_record("fuse", "calibrated-nofuse", violations=200),
+        _serve_record("fuse", "calibrated-fuse", violations=50,
+                      fuse_trips=1),
+        _cluster_record("retry_storm", retries=500),
+        _cluster_record("retry_budget", retries=420,
+                        retries_denied=80, shed_budget=80,
+                        completed=900),
+        _llm_record("bound"),
+        _llm_record("calibrated", completed=75, shed=5,
+                    admitted_calibrated=70, admitted_bound=5),
+    ]
+
+
+def _expect_fail(raw, out, needle, what):
+    try:
+        assemble(raw, out)
+    except SystemExit as exc:
+        assert needle in str(exc), exc
+    else:
+        raise SystemExit(f"self-test: {what} did not fail")
+
+
+def self_test():
+    """Fixture check: a clean log assembles with all three headlines;
+    each guarded failure mode hard-fails naming the offense."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = os.path.join(tmp, "raw.jsonl")
+        out = os.path.join(tmp, "out.json")
+
+        def write(recs, path=raw):
+            with open(path, "w", encoding="utf-8") as fh:
+                for rec in recs:
+                    fh.write(json.dumps(rec) + "\n")
+
+        write(_good_fixture())
+        records, sections, headlines = assemble(
+            raw, out, required=("knee", "fuse", "retry_budget"))
+        assert len(records) == 10, records
+        assert set(headlines) == {"knee", "fuse", "retry_budget"}
+        knee = headlines["knee"]
+        # The knee is the highest offered point: 300 -> 20 shed.
+        assert abs(knee["recovery"] - 280 / 300) < 1e-9, knee
+        assert headlines["fuse"]["fuse_trips"] == 1
+        assert headlines["retry_budget"]["budget_retries"] == 420
+        with open(out, encoding="utf-8") as fh:
+            assert "headlines" in json.load(fh)
+
+        try:
+            assemble(raw, out, required=("knee", "brownout"))
+        except SystemExit as exc:
+            assert "missing overload sections: brownout" in str(exc)
+        else:
+            raise SystemExit("self-test: missing section passed")
+
+        # Each failure mode, one mutation at a time.
+        bad = _good_fixture()
+        bad[1] = _serve_record("knee", "calibrated",
+                               offered_rps=1000.0, tier_closed=False)
+        write(bad)
+        _expect_fail(raw, out, "open per-tier admission",
+                     "open tier accounting")
+
+        bad = _good_fixture()
+        bad[3] = _serve_record("knee", "calibrated",
+                               offered_rps=2000.0, shed=200)
+        write(bad)
+        _expect_fail(raw, out, "knee recovery", "weak knee recovery")
+
+        bad = _good_fixture()
+        bad[3] = _serve_record("knee", "calibrated",
+                               offered_rps=2000.0, shed=20,
+                               violations=5)
+        write(bad)
+        _expect_fail(raw, out, "added SLA violations",
+                     "calibrated violations at the knee")
+
+        bad = _good_fixture()
+        bad[5] = _serve_record("fuse", "calibrated-fuse",
+                               violations=50, fuse_trips=0)
+        write(bad)
+        _expect_fail(raw, out, "never tripped", "untripped fuse")
+
+        bad = _good_fixture()
+        bad[5] = _serve_record("fuse", "calibrated-fuse",
+                               violations=300, fuse_trips=1)
+        write(bad)
+        _expect_fail(raw, out, "violations worse", "worse fuse")
+
+        bad = _good_fixture()
+        bad[7] = _cluster_record("retry_budget", retries=500,
+                                 retries_denied=80, shed_budget=80)
+        write(bad)
+        _expect_fail(raw, out, "did not bound retries",
+                     "unbounded budget retries")
+
+        bad = _good_fixture()
+        bad[7] = _cluster_record("retry_budget", retries=420,
+                                 retries_denied=0, shed_budget=0)
+        write(bad)
+        _expect_fail(raw, out, "denied nothing", "idle budget")
+
+        bad = _good_fixture()
+        bad[8] = _llm_record("bound",
+                             request_accounting_closed=False)
+        write(bad)
+        _expect_fail(raw, out, "open llm request",
+                     "open llm accounting")
+
+        bad = _good_fixture()
+        bad[7] = _cluster_record("retry_budget", retries=420,
+                                 retries_denied=80, shed_budget=80,
+                                 closed=False)
+        write(bad)
+        _expect_fail(raw, out, "open fleet ledger",
+                     "open fleet ledger")
+
+        empty = os.path.join(tmp, "empty.jsonl")
+        open(empty, "w", encoding="utf-8").close()
+        _expect_fail(empty, out, "no overload records", "empty input")
+
+    print("assemble_overload.py self-test passed")
+
+
+def main(argv):
+    args = list(argv[1:])
+    if args == ["--self-test"]:
+        self_test()
+        return 0
+
+    required = []
+    if "--require" in args:
+        idx = args.index("--require")
+        if idx + 1 >= len(args):
+            raise SystemExit("--require needs a comma-separated list "
+                             "of section names")
+        required = [s for s in args[idx + 1].split(",") if s]
+        del args[idx:idx + 2]
+
+    if len(args) not in (1, 2):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    raw_path = args[0]
+    out_path = args[1] if len(args) == 2 else "BENCH_overload.json"
+    records, sections, headlines = assemble(raw_path, out_path,
+                                            required)
+    report(out_path, records, sections, headlines)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,18 +3,29 @@
 
 serve_sweep appends one JSON record per ramp point to the file named
 by RAPID_SERVE_JSON ({"section": ..., "policy": ..., "offered_rps":
-..., "goodput_rps": ..., ...}). This script merges those lines —
-keeping the last record per (section, policy, offered load) so reruns
-overwrite stale points — groups them by section, locates the goodput
-knee of each ramp policy (the highest offered load still served with
-under 5% shed), writes the grouped records to BENCH_serve.json, and
-prints a per-policy knee summary.
+..., "goodput_rps": ..., per-tier admission counters, ...}). This
+script merges those lines — keeping the last record per (section,
+policy, offered load) so reruns overwrite stale points — HARD-FAILS
+if any record's per-tier admission accounting is open (offered !=
+admitted_calibrated + admitted_bound + shed; the router counts every
+request into exactly one of those at admission time, so an open
+record is a router bug, not a data point), groups them by section,
+locates the goodput knee of each ramp policy (the highest offered
+load still served with under 5% shed), writes the grouped records to
+BENCH_serve.json, and prints a per-policy knee summary.
+
+Sections named via --require that have no record are a hard failure
+(the bench run that should have appended them never completed).
 
 Usage: assemble_serve.py <raw-jsonl> [<output-json>]
+           [--require section1,section2,...]
+       assemble_serve.py --self-test
 """
 
 import json
+import os
 import sys
+import tempfile
 
 # A ramp point past the knee sheds more than this fraction of load.
 KNEE_SHED_FRACTION = 0.05
@@ -39,6 +50,34 @@ def load_records(path):
     return [records[k] for k in sorted(records)]
 
 
+def check_closed(path, records):
+    """Open per-tier accounting anywhere is a hard failure naming the
+    cells: a request admitted by neither tier yet not shed would
+    silently inflate goodput."""
+    bad = [r for r in records
+           if "tier_closed" in r and not r["tier_closed"]]
+    if bad:
+        cells = ", ".join(
+            f"{r['section']}/{r['policy']}@{r['offered_rps']}"
+            for r in bad
+        )
+        raise SystemExit(
+            f"{path}: open per-tier admission accounting in cells: "
+            f"{cells}"
+        )
+
+
+def check_required(path, records, required):
+    present = {rec["section"] for rec in records}
+    missing = [s for s in required if s not in present]
+    if missing:
+        raise SystemExit(
+            f"{path}: missing serve sections: " + ", ".join(missing)
+            + " (the bench run that should have appended them never "
+            "completed)"
+        )
+
+
 def shed_fraction(rec):
     offered = float(rec["offered"])
     return float(rec["shed"]) / offered if offered > 0 else 0.0
@@ -61,16 +100,12 @@ def knee_summary(records):
     return knees
 
 
-def main(argv):
-    if len(argv) not in (2, 3):
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    raw_path = argv[1]
-    out_path = argv[2] if len(argv) == 3 else "BENCH_serve.json"
-
+def assemble(raw_path, out_path, required=()):
     records = load_records(raw_path)
     if not records:
         raise SystemExit(f"{raw_path}: no serve records found")
+    check_required(raw_path, records, required)
+    check_closed(raw_path, records)
 
     sections = {}
     for rec in records:
@@ -93,7 +128,10 @@ def main(argv):
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(out, fh, indent=2)
         fh.write("\n")
+    return records, sections, knees
 
+
+def report(out_path, records, sections, knees):
     width = max(len(f"{s}/{p}") for s, p in knees) + 2 if knees else 10
     print(f"{'ramp/policy':<{width}}{'knee offered/s':>16}"
           f"{'goodput/s':>12}")
@@ -103,6 +141,107 @@ def main(argv):
               f"{offered:>16.0f}{goodput_s:>12}")
     print(f"\nwrote {out_path} ({len(records)} records, "
           f"{len(sections)} sections)")
+
+
+def _record(section, policy, offered_rps, **extra):
+    offered = int(offered_rps)
+    rec = {
+        "section": section, "policy": policy,
+        "offered_rps": float(offered_rps),
+        "goodput_rps": float(offered_rps) * 0.95,
+        "offered": offered, "completed": offered, "shed": 0,
+        "failed": 0, "violations": 0, "admitted_calibrated": 0,
+        "admitted_bound": offered, "shed_admission": 0,
+        "shed_brownout": 0, "fuse_trips": 0, "breaker_opens": 0,
+        "breaker_closes": 0, "brownout_max_level": 0,
+        "tier_closed": True,
+    }
+    rec.update(extra)
+    return rec
+
+
+def self_test():
+    """Fixture check: a clean ramp assembles and finds its knee; an
+    open-accounting cell and a missing required section each
+    hard-fail naming the offense."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = os.path.join(tmp, "raw.jsonl")
+        out = os.path.join(tmp, "out.json")
+        good = [
+            _record("ramp_web", "int4", 1000.0),
+            _record("ramp_web", "int4", 2000.0, shed=40,
+                    completed=1960, admitted_bound=1960),
+            _record("ramp_web", "int4", 3000.0, shed=600,
+                    completed=2400, admitted_bound=2400),
+            _record("multi_tenant", "ladder", 2500.0),
+        ]
+        with open(raw, "w", encoding="utf-8") as fh:
+            for rec in good:
+                fh.write(json.dumps(rec) + "\n")
+        records, sections, knees = assemble(
+            raw, out, required=("ramp_web", "multi_tenant"))
+        assert len(records) == 4, records
+        assert set(sections) == {"ramp_web", "multi_tenant"}
+        # 2000/s sheds 2% (under the 5% knee), 3000/s sheds 20%.
+        offered, goodput = knees[("ramp_web", "int4")]
+        assert offered == 2000.0, knees
+        assert goodput == 1900.0, knees
+        with open(out, encoding="utf-8") as fh:
+            assert "knees" in json.load(fh)
+
+        try:
+            assemble(raw, out, required=("ramp_web", "ramp_bert"))
+        except SystemExit as exc:
+            assert "missing serve sections: ramp_bert" in str(exc)
+        else:
+            raise SystemExit("self-test: missing section passed")
+
+        with open(raw, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(_record(
+                "multi_tenant", "brownout", 2500.0, tier_closed=False
+            )) + "\n")
+        try:
+            assemble(raw, out)
+        except SystemExit as exc:
+            assert "open per-tier admission" in str(exc), exc
+            assert "brownout" in str(exc), exc
+        else:
+            raise SystemExit("self-test: open accounting did not fail")
+
+        empty = os.path.join(tmp, "empty.jsonl")
+        open(empty, "w", encoding="utf-8").close()
+        try:
+            assemble(empty, out)
+        except SystemExit as exc:
+            assert "no serve records" in str(exc), exc
+        else:
+            raise SystemExit("self-test: empty input did not fail")
+
+    print("assemble_serve.py self-test passed")
+
+
+def main(argv):
+    args = list(argv[1:])
+    if args == ["--self-test"]:
+        self_test()
+        return 0
+
+    required = []
+    if "--require" in args:
+        idx = args.index("--require")
+        if idx + 1 >= len(args):
+            raise SystemExit("--require needs a comma-separated list "
+                             "of section names")
+        required = [s for s in args[idx + 1].split(",") if s]
+        del args[idx:idx + 2]
+
+    if len(args) not in (1, 2):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    raw_path = args[0]
+    out_path = args[1] if len(args) == 2 else "BENCH_serve.json"
+    records, sections, knees = assemble(raw_path, out_path, required)
+    report(out_path, records, sections, knees)
     return 0
 
 

@@ -29,16 +29,20 @@ ctest --test-dir build 2>&1 | tee test_output.txt || fail "ctest"
 # (assemble_serve.py -> BENCH_serve.json), resilience_sweep its
 # policy-grid cells (assemble_resilience.py -> BENCH_resilience.json),
 # and cluster_sweep its fleet scenarios (assemble_cluster.py ->
-# BENCH_cluster.json, hard-failing on open request accounting), and
+# BENCH_cluster.json, hard-failing on open request accounting),
 # llm_sweep its transformer-serving scenarios (assemble_llm.py ->
-# BENCH_llm.json, hard-failing on open request OR token accounting).
+# BENCH_llm.json, hard-failing on open request OR token accounting),
+# and overload_sweep its overload-control scenarios
+# (assemble_overload.py -> BENCH_overload.json, hard-failing on open
+# per-tier admission accounting).
 export RAPID_SWEEP_JSON="$PWD/build/sweeps_raw.jsonl"
 export RAPID_SERVE_JSON="$PWD/build/serve_raw.jsonl"
 export RAPID_RESILIENCE_JSON="$PWD/build/resilience_raw.jsonl"
 export RAPID_CLUSTER_JSON="$PWD/build/cluster_raw.jsonl"
 export RAPID_LLM_JSON="$PWD/build/llm_raw.jsonl"
+export RAPID_OVERLOAD_JSON="$PWD/build/overload_raw.jsonl"
 rm -f "$RAPID_SWEEP_JSON" "$RAPID_SERVE_JSON" "$RAPID_RESILIENCE_JSON" \
-      "$RAPID_CLUSTER_JSON" "$RAPID_LLM_JSON"
+      "$RAPID_CLUSTER_JSON" "$RAPID_LLM_JSON" "$RAPID_OVERLOAD_JSON"
 (for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
     echo "===== $b"
@@ -51,7 +55,7 @@ rm -f "$RAPID_SWEEP_JSON" "$RAPID_SERVE_JSON" "$RAPID_RESILIENCE_JSON" \
 # for the DES engine's scaling record.
 HEAVY_SWEEPS="fig13_inference_latency fig14_inference_efficiency \
 fig15_training_throughput fault_sweep serve_sweep resilience_sweep \
-cluster_sweep llm_sweep"
+cluster_sweep llm_sweep overload_sweep"
 for fig in $HEAVY_SWEEPS; do
     build/bench/"$fig" --threads 1 > /dev/null || fail "$fig baseline"
 done
@@ -86,6 +90,13 @@ echo
 echo "===== transformer serving summary"
 python3 scripts/assemble_llm.py "$RAPID_LLM_JSON" \
     BENCH_llm.json || fail "llm report"
+
+echo
+echo "===== overload control summary"
+python3 scripts/assemble_overload.py "$RAPID_OVERLOAD_JSON" \
+    BENCH_overload.json \
+    --require knee,fuse,brownout,breaker,retry_storm,retry_budget,llm_tpot \
+    || fail "overload report"
 
 (for e in build/examples/*; do
     [ -x "$e" ] && [ -f "$e" ] || continue

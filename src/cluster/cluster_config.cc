@@ -85,6 +85,18 @@ validateClusterConfig(const ClusterConfig &cfg)
     RAPID_CHECK_CONFIG(cfg.failover.max_retries >= 1,
                        "failover max_retries must be >= 1, got ",
                        cfg.failover.max_retries);
+    if (cfg.failover.budget.enabled) {
+        RAPID_CHECK_CONFIG(
+            std::isfinite(cfg.failover.budget.tokens_per_s) &&
+                cfg.failover.budget.tokens_per_s > 0,
+            "retry budget tokens_per_s must be positive, got ",
+            cfg.failover.budget.tokens_per_s);
+        RAPID_CHECK_CONFIG(std::isfinite(cfg.failover.budget.burst) &&
+                               cfg.failover.budget.burst >= 1.0,
+                           "retry budget burst must be >= 1 (a dry "
+                           "bucket could never retry), got ",
+                           cfg.failover.budget.burst);
+    }
 
     RAPID_CHECK_CONFIG(cfg.fabric.base_ns > 0,
                        "fabric base_ns must be positive (channels "
@@ -124,6 +136,15 @@ validateClusterConfig(const ClusterConfig &cfg)
                            cfg.failures.degraded_fraction <= 1.0,
                        "degraded_fraction must be in [0, 1], got ",
                        cfg.failures.degraded_fraction);
+    RAPID_CHECK_CONFIG(std::isfinite(cfg.failures.strike_window_lo) &&
+                           std::isfinite(cfg.failures.strike_window_hi) &&
+                           cfg.failures.strike_window_lo >= 0.0 &&
+                           cfg.failures.strike_window_lo <
+                               cfg.failures.strike_window_hi &&
+                           cfg.failures.strike_window_hi <= 1.0,
+                       "failure strike window must satisfy 0 <= lo < "
+                       "hi <= 1, got [", cfg.failures.strike_window_lo,
+                       ", ", cfg.failures.strike_window_hi, "]");
     std::vector<bool> seen(cfg.num_chips, false);
     for (const ScriptedFailure &f : cfg.failures.scripted) {
         RAPID_CHECK_CONFIG(f.chip < cfg.num_chips,
@@ -194,10 +215,12 @@ buildFailurePlan(const ClusterConfig &cfg)
             Rng rng(mixSeed(cfg.failures.seed, chip));
             if (rng.uniform() >= cfg.failures.rate)
                 continue;
-            // Strike inside the middle of the horizon so detection
-            // and drain always have room on both sides.
-            const double lo = 0.1 * double(cfg.serve.horizon_ns);
-            const double hi = 0.9 * double(cfg.serve.horizon_ns);
+            // Strike inside the configured window of the horizon so
+            // detection and drain always have room on both sides.
+            const double lo = cfg.failures.strike_window_lo *
+                              double(cfg.serve.horizon_ns);
+            const double hi = cfg.failures.strike_window_hi *
+                              double(cfg.serve.horizon_ns);
             const int64_t when =
                 std::max<int64_t>(1, int64_t(rng.uniform(lo, hi)));
             const bool degrade =

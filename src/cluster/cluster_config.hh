@@ -59,6 +59,22 @@ struct HeartbeatConfig
     int miss_threshold = 3;
 };
 
+/**
+ * Fleet-level retry budget: a token bucket per failover target chip.
+ * Every stranded-retry or bounce re-dispatch aimed at a chip consumes
+ * one token from that chip's bucket; when the bucket is dry the retry
+ * converts to an accounted shed (FleetLedger.shed_budget) instead of
+ * joining the storm hammering the survivor. Buckets refill on the
+ * virtual clock at tokens_per_s, capped at burst. Defaults off —
+ * bit-identical to the unbudgeted router.
+ */
+struct RetryBudgetConfig
+{
+    bool enabled = false;
+    double tokens_per_s = 50.0;
+    double burst = 10.0;
+};
+
 /** Failover retry/backoff bounds. */
 struct FailoverConfig
 {
@@ -70,6 +86,7 @@ struct FailoverConfig
     /// Failover hops any one request may take before it is written
     /// off (each adoption or bounce re-dispatch consumes one).
     int max_retries = 3;
+    RetryBudgetConfig budget;
 };
 
 /** Chip-to-chip/router fabric latency model: messages ride the
@@ -102,6 +119,12 @@ struct FailureModel
     /// Of the failing chips, the fraction that degrade (dead cores /
     /// MPE rows via the existing chip masks) instead of fail-stop.
     double degraded_fraction = 0.0;
+    /// Seeded strikes land uniformly inside the
+    /// [strike_window_lo, strike_window_hi] fraction of the horizon,
+    /// so detection and drain always have room on both sides.
+    /// Requires 0 <= lo < hi <= 1.
+    double strike_window_lo = 0.1;
+    double strike_window_hi = 0.9;
     /// Dead-core / dead-MPE-row masks applied on a degrade.
     unsigned degrade_dead_cores = 1;
     unsigned degrade_dead_mpe_rows = 0;

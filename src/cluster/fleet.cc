@@ -96,6 +96,14 @@ struct RouterHost
     static constexpr int32_t kPriRecv = 0;
     static constexpr int32_t kPriCheck = 1;
 
+    /** Per-failover-target retry-budget token bucket, refilled on the
+     *  virtual clock. Starts full. */
+    struct Bucket
+    {
+        double tokens = 0;
+        int64_t last_ns = 0;
+    };
+
     FleetCell &cell;
     DesDomain &dom;
     std::vector<int64_t> last_heard;
@@ -104,12 +112,14 @@ struct RouterHost
     std::vector<bool> processed;
     std::vector<int64_t> detect_ns;
     std::vector<std::vector<OrphanWire>> manifests;
+    std::vector<Bucket> buckets;
+    std::vector<RetryDenial> denials;
 
     RouterHost(FleetCell &c, DesDomain &d, size_t num_chips)
         : cell(c), dom(d), last_heard(num_chips, 0),
           declared(num_chips, false), manifest_seen(num_chips, false),
           processed(num_chips, false), detect_ns(num_chips, -1),
-          manifests(num_chips)
+          manifests(num_chips), buckets(num_chips)
     {
     }
 
@@ -120,6 +130,7 @@ struct RouterHost
     void tryProcess(size_t chip);
     size_t successor(size_t from) const;
     void dispatchTo(size_t target, std::vector<AdoptItem> items);
+    bool budgetAllow(size_t target);
 };
 
 /** One fleet instance wired into a shared engine. */
@@ -370,6 +381,30 @@ RouterHost::onCheck()
         dom.schedule(next, kPriCheck, [this] { onCheck(); });
 }
 
+/**
+ * Draw one retry token from @p target's bucket; true when the retry
+ * may dispatch. A dry bucket converts the retry into an accounted
+ * shed — the caller records the denial — so a mass failure cannot
+ * amplify into a retry storm against the survivor chip.
+ */
+bool
+RouterHost::budgetAllow(size_t target)
+{
+    const RetryBudgetConfig &b = cell.cfg.failover.budget;
+    if (!b.enabled)
+        return true;
+    Bucket &bk = buckets[target];
+    const int64_t now = dom.now();
+    bk.tokens = std::min(b.burst,
+                         bk.tokens + double(now - bk.last_ns) * 1e-9 *
+                                         b.tokens_per_s);
+    bk.last_ns = now;
+    if (bk.tokens < 1.0)
+        return false;
+    bk.tokens -= 1.0;
+    return true;
+}
+
 size_t
 RouterHost::successor(size_t from) const
 {
@@ -424,6 +459,13 @@ RouterHost::tryProcess(size_t chip)
         const int attempts = w.attempts + 1;
         if (attempts > fo.max_retries)
             continue;
+        // Clean redirects of post-detection traffic ride free; only
+        // stranded-request retries draw from the target's budget.
+        if (!future && !budgetAllow(target)) {
+            denials.push_back(
+                {w.origin_chip, w.origin_id, dom.now()});
+            continue;
+        }
         AdoptItem it;
         it.tenant = w.tenant;
         it.when = future
@@ -454,6 +496,11 @@ RouterHost::onBounce(size_t from, std::vector<AdoptItem> items)
         ++it.attempts; // the bounced hop was consumed
         if (it.attempts > fo.max_retries)
             continue;
+        if (!budgetAllow(target)) {
+            denials.push_back(
+                {it.origin_chip, it.origin_id, dom.now()});
+            continue;
+        }
         it.when =
             std::max(it.when, dom.now()) + fo.retry_backoff_ns;
         retry.push_back(it);
@@ -503,6 +550,8 @@ FleetCell::FleetCell(DesEngine &eng, const FleetSim &fleet_sim,
     router = std::make_unique<RouterHost>(*this,
                                           engine.domain(router_dom),
                                           n);
+    for (RouterHost::Bucket &b : router->buckets)
+        b.tokens = cfg.failover.budget.burst; // buckets start full
     for (size_t i = 0; i < n; ++i) {
         chips.push_back(std::make_unique<ChipHost>(
             *this, i, engine.domain(chip_dom[i]),
@@ -562,6 +611,7 @@ collectCell(FleetCell &cell, uint64_t windows)
                              host.adoptions.begin(),
                              host.adoptions.end());
     }
+    out.budget_denials = std::move(cell.router->denials);
 
     TrainingOutcome &t = out.training;
     t.enabled = cfg.training.enabled;

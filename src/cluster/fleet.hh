@@ -102,6 +102,15 @@ struct TrainingOutcome
     std::vector<uint8_t> final_checkpoint;
 };
 
+/** One retry converted to an accounted shed by a dry retry budget
+ *  (cfg.failover.budget): the origin request takes no further hops. */
+struct RetryDenial
+{
+    size_t origin_chip = 0;
+    uint64_t origin_id = 0;
+    int64_t time_ns = 0; ///< router decision instant
+};
+
 /** Raw outcome of one fleet run; fleet_metrics aggregates it. */
 struct FleetResult
 {
@@ -109,6 +118,9 @@ struct FleetResult
     std::vector<ChipStatus> status;
     /// Every failover adoption, in (host chip, local id) order.
     std::vector<AdoptionMeta> adoptions;
+    /// Retries the budget denied, in router decision order (empty
+    /// when the budget is off).
+    std::vector<RetryDenial> budget_denials;
     TrainingOutcome training;
     uint64_t windows = 0; ///< engine windows (determinism metric)
 };

@@ -57,6 +57,14 @@ buildFleetLedger(const ClusterConfig &cfg, const FleetResult &result)
     FleetLedger out;
     out.windows = result.windows;
     out.retries = result.adoptions.size();
+    out.retries_denied = result.budget_denials.size();
+
+    // Origins whose retry the budget denied: their chain ends in a
+    // failed record, but the write-off was a *deliberate* shed, so
+    // the ledger accounts it separately from a genuine loss.
+    std::map<RecordKey, bool> denied;
+    for (const RetryDenial &d : result.budget_denials)
+        denied[{d.origin_chip, d.origin_id}] = true;
 
     // Join each adoption to its host record, and group the chains by
     // ultimate origin (wires flatten multi-hop chains, so the group
@@ -97,7 +105,10 @@ buildFleetLedger(const ClusterConfig &cfg, const FleetResult &result)
             }
 
             if (terminal->failed) {
-                ++out.failed;
+                if (denied.count({chip, r.id}))
+                    ++out.shed_budget;
+                else
+                    ++out.failed;
             } else if (terminal->shed) {
                 ++out.shed;
             } else {
@@ -184,6 +195,10 @@ fleetReport(const ClusterConfig &cfg, const FleetResult &result,
         << ledger.shed << ", failed " << ledger.failed << ", retries "
         << ledger.retries << ", closed "
         << (ledger.closed() ? "yes" : "NO") << "\n";
+    if (cfg.failover.budget.enabled)
+        oss << "budget: " << ledger.retries_denied
+            << " retries denied, " << ledger.shed_budget
+            << " origins converted to shed\n";
     oss << "fleet: sla " << pctOf(ledger.sla_met, ledger.completed)
         << " of completed, p99 " << ms(ledger.latency.p99)
         << " ms, goodput " << Table::fmt(ledger.goodput_rps, 1)
@@ -227,6 +242,8 @@ clusterJsonRecord(const std::string &section, const ClusterConfig &cfg,
         << ",\"shed\":" << ledger.shed
         << ",\"failed\":" << ledger.failed
         << ",\"failed_over\":" << ledger.failed_over
+        << ",\"shed_budget\":" << ledger.shed_budget
+        << ",\"retries_denied\":" << ledger.retries_denied
         << ",\"retries\":" << ledger.retries
         << ",\"sla_met\":" << ledger.sla_met
         << ",\"violations\":" << ledger.violations

@@ -27,6 +27,10 @@ struct FleetLedger
     uint64_t completed = 0; ///< origins whose terminal completed
     uint64_t shed = 0;      ///< origins shed at terminal admission
     uint64_t failed = 0;    ///< origins written off (chain exhausted)
+    /// Origins whose retry a dry budget converted to a shed
+    /// (cfg.failover.budget); disjoint from failed.
+    uint64_t shed_budget = 0;
+    uint64_t retries_denied = 0; ///< router budget denials
     /// Origins that completed on a chip other than their home.
     uint64_t failed_over = 0;
     uint64_t retries = 0; ///< adoption records (failover deliveries)
@@ -46,7 +50,7 @@ struct FleetLedger
      *  terminal state. */
     bool closed() const
     {
-        return offered == completed + shed + failed;
+        return offered == completed + shed + failed + shed_budget;
     }
 };
 

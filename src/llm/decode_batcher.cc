@@ -27,6 +27,12 @@ DecodeBatcher::bootstrap()
     result_.horizon_ns = cfg_.horizon_ns;
     result_.requests.resize(trace_.size());
     groups_.resize(cfg_.ladder.size());
+    if (cfg_.admission.enabled) {
+        result_.group_admission.resize(cfg_.ladder.size());
+        tpot_est_.assign(cfg_.ladder.size(),
+                         QueueDelayEstimator(cfg_.admission.window));
+        fuse_strikes_.assign(cfg_.ladder.size(), 0);
+    }
     if (!trace_.empty())
         dom_.schedule(trace_[0].arrival_ns, kPriArrival,
                       [this] { onArrival(); });
@@ -111,17 +117,40 @@ DecodeBatcher::routeRequest(LlmRequestRecord &rec)
 {
     const LlmTenantConfig &tenant = cfg_.tenants[rec.tenant];
     const int floor = servingQuality(tenant.min_precision);
+    const CalibratedAdmissionConfig &adm = cfg_.admission;
     for (size_t gi = 0; gi < cfg_.ladder.size(); ++gi) {
         if (servingQuality(cfg_.ladder[gi].act) < floor)
             continue;
-        if (tpotBoundNs(gi, rec) > tenant.tpot_deadline_ns)
+        // TPOT check, tiered exactly like the serve-layer router:
+        // when the group's observed-TPOT window is warm and its trust
+        // fuse intact, admit on observed p95 x margin; otherwise on
+        // the conservative full-batch step bound.
+        AdmitTier tier = AdmitTier::Bound;
+        int64_t tpot_pred;
+        if (adm.enabled && !result_.group_admission[gi].fuse_tripped &&
+            tpot_est_[gi].windowFill() >= adm.min_samples) {
+            tier = AdmitTier::Calibrated;
+            tpot_pred = int64_t(double(tpot_est_[gi].p95Ns()) *
+                                adm.safety_margin);
+        } else {
+            tpot_pred = tpotBoundNs(gi, rec);
+        }
+        if (tpot_pred > tenant.tpot_deadline_ns)
             continue;
         const int64_t ttft =
             ttftEstimateNs(rec.arrival_ns, gi, rec);
         if (ttft > tenant.ttft_deadline_ns)
             continue;
         rec.mode = int(gi);
+        rec.tier = tier;
         rec.predicted_ttft_ns = ttft;
+        if (adm.enabled) {
+            LlmGroupAdmission &ga = result_.group_admission[gi];
+            if (tier == AdmitTier::Calibrated)
+                ++ga.admitted_calibrated;
+            else
+                ++ga.admitted_bound;
+        }
         groups_[gi].waiting.push_back(rec.id);
         return true;
     }
@@ -156,6 +185,20 @@ DecodeBatcher::finishSequence(uint64_t id, int64_t t)
     rec.completion_ns = t;
     rapid_dassert(rec.generated_tokens == rec.output_tokens,
                   "sequence finished with open token accounting");
+    const CalibratedAdmissionConfig &adm = cfg_.admission;
+    if (!adm.enabled || rec.generated_tokens < 2)
+        return; // single-token outputs have no TPOT observation
+    const size_t gi = size_t(rec.mode);
+    const int64_t tpot = rec.tpotNs();
+    tpot_est_[gi].record(tpot);
+    LlmGroupAdmission &ga = result_.group_admission[gi];
+    if (adm.fuse_enabled && !ga.fuse_tripped &&
+        rec.tier == AdmitTier::Calibrated &&
+        tpot > cfg_.tenants[rec.tenant].tpot_deadline_ns &&
+        ++fuse_strikes_[gi] >= adm.fuse_violations) {
+        ga.fuse_tripped = true;
+        ga.fuse_trip_ns = t;
+    }
 }
 
 void

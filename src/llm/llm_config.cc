@@ -103,6 +103,7 @@ validateLlmConfig(const LlmServeConfig &cfg)
                            precisionName(t.min_precision));
     }
     validateFaultConfig(cfg.fault);
+    validateCalibratedAdmissionConfig(cfg.admission);
 }
 
 std::vector<Precision>

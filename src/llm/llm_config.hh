@@ -94,6 +94,12 @@ struct LlmServeConfig
     uint64_t seed = 0x11a5eedULL;
     /// Charged into the latency table exactly as in rapid_serve.
     FaultConfig fault;
+    /// Calibrated TPOT admission tier (serve/overload.hh): when the
+    /// per-group observed-TPOT window is warm, the router admits on
+    /// observed p95 x margin instead of the conservative full-batch
+    /// step bound, with the same trust fuse back to the bound on the
+    /// first calibrated TPOT miss. Defaults off (bound-only).
+    CalibratedAdmissionConfig admission;
 };
 
 /**

@@ -66,6 +66,13 @@ computeLlmMetrics(const LlmServeConfig &cfg, const LlmResult &result)
         out.total.generated_tokens += r.generated_tokens;
         ++m.served_by_mode[size_t(r.mode)];
         ++out.total.served_by_mode[size_t(r.mode)];
+        if (r.tier == AdmitTier::Calibrated) {
+            ++m.admitted_calibrated;
+            ++out.total.admitted_calibrated;
+        } else {
+            ++m.admitted_bound;
+            ++out.total.admitted_bound;
+        }
         const int64_t t1 = r.ttftNs();
         ttft[r.tenant].push_back(t1);
         ttft_all.push_back(t1);
@@ -116,6 +123,10 @@ computeLlmMetrics(const LlmServeConfig &cfg, const LlmResult &result)
     if (out.total.generated_tokens > 0)
         out.energy_per_token_mj = 1e3 * out.energy_j /
                                   double(out.total.generated_tokens);
+    out.admission_active = cfg.admission.enabled;
+    for (const LlmGroupAdmission &ga : result.group_admission)
+        if (ga.fuse_tripped)
+            ++out.fuse_trips;
     return out;
 }
 
@@ -181,6 +192,15 @@ llmReport(const LlmServeConfig &cfg, const LlmMetrics &m)
                   (unsigned long long)m.spilled_steps,
                   m.energy_per_token_mj);
     oss << buf;
+    if (m.admission_active) {
+        std::snprintf(buf, sizeof(buf),
+                      "admission: calibrated %llu / bound %llu, fuse "
+                      "trips %llu\n",
+                      (unsigned long long)m.total.admitted_calibrated,
+                      (unsigned long long)m.total.admitted_bound,
+                      (unsigned long long)m.fuse_trips);
+        oss << buf;
+    }
     return oss.str();
 }
 
@@ -197,6 +217,11 @@ llmJsonRecord(const std::string &section, const std::string &label,
         << ",\"sla_met\":" << t.sla_met
         << ",\"ttft_violations\":" << t.ttft_violations
         << ",\"tpot_violations\":" << t.tpot_violations
+        << ",\"admitted_calibrated\":" << t.admitted_calibrated
+        << ",\"admitted_bound\":" << t.admitted_bound
+        << ",\"fuse_trips\":" << m.fuse_trips
+        << ",\"tier_closed\":"
+        << (t.tierAccountingClosed() ? "true" : "false")
         << ",\"planned_tokens\":" << t.planned_tokens
         << ",\"generated_tokens\":" << t.generated_tokens
         << ",\"dropped_tokens\":" << t.dropped_tokens

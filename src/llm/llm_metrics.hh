@@ -42,11 +42,24 @@ struct LlmTenantMetrics
     double tokens_per_s = 0; ///< generated tokens per offered second
     /// Completed requests per ladder mode (index = ladder position).
     std::vector<uint64_t> served_by_mode;
+    /// Per-tier admission split of completed requests (calibrated
+    /// TPOT tier, cfg.admission); all completions land in
+    /// admitted_bound when the tier is off.
+    uint64_t admitted_calibrated = 0;
+    uint64_t admitted_bound = 0;
 
     bool
     requestAccountingClosed() const
     {
         return offered == completed + shed;
+    }
+
+    /** Every offered request is admitted by exactly one tier or
+     *  shed at admission. */
+    bool
+    tierAccountingClosed() const
+    {
+        return offered == admitted_calibrated + admitted_bound + shed;
     }
 
     bool
@@ -71,6 +84,11 @@ struct LlmMetrics
     double mean_decode_batch = 0; ///< mean charged batch size
     int64_t spill_ns_total = 0;   ///< summed KV refetch penalty
     uint64_t spilled_steps = 0;   ///< decode steps that paid it
+    /// Calibrated-admission aggregates; admission_active mirrors
+    /// cfg.admission.enabled and gates the extra llmReport line so
+    /// admission-off goldens stay byte-identical.
+    bool admission_active = false;
+    uint64_t fuse_trips = 0; ///< ladder groups whose fuse tripped
 };
 
 /** Aggregate a raw simulation result. */

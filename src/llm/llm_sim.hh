@@ -47,6 +47,10 @@ struct LlmRequestRecord
     int64_t prompt_tokens = 0;
     int64_t output_tokens = 0;  ///< planned tokens, drawn at arrival
     int mode = -1;              ///< ladder index served at; -1 = shed
+    /// Which admission tier cleared the TPOT check: the proven
+    /// full-batch step bound, or the calibrated observed-p95 tier
+    /// (cfg.admission). Always Bound when admission is off.
+    AdmitTier tier = AdmitTier::Bound;
     int64_t predicted_ttft_ns = -1; ///< router's admission estimate
     int64_t first_token_ns = -1;    ///< prefill completion
     int64_t completion_ns = -1;     ///< last generated token
@@ -94,11 +98,27 @@ struct LlmStepRecord
     double energy_j = 0;
 };
 
+/** Per-ladder-group calibrated-admission outcome (cfg.admission). */
+struct LlmGroupAdmission
+{
+    uint64_t admitted_calibrated = 0;
+    uint64_t admitted_bound = 0;
+    /// Trust fuse: latched once a calibrated-admitted sequence
+    /// finishes past its tenant's TPOT deadline fuse_violations
+    /// times; the group then admits on the proven bound for the rest
+    /// of the run.
+    bool fuse_tripped = false;
+    int64_t fuse_trip_ns = -1;
+};
+
 /** Raw simulation outcome; llm_metrics.hh aggregates it. */
 struct LlmResult
 {
     std::vector<LlmRequestRecord> requests; ///< in arrival order
     std::vector<LlmStepRecord> steps;       ///< in launch order
+    /// One entry per ladder group when cfg.admission.enabled; empty
+    /// otherwise.
+    std::vector<LlmGroupAdmission> group_admission;
     int64_t horizon_ns = 0;
     int64_t end_ns = 0; ///< virtual time at drain
 };

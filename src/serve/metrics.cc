@@ -93,10 +93,24 @@ computeMetrics(const ServeConfig &cfg, const ServeResult &result)
         if (r.shed) {
             ++m.shed;
             ++out.total.shed;
+            if (r.shed_reason == ShedReason::Brownout) {
+                ++m.shed_brownout;
+                ++out.total.shed_brownout;
+            } else {
+                ++m.shed_admission;
+                ++out.total.shed_admission;
+            }
             continue;
         }
         ++m.completed;
         ++out.total.completed;
+        if (r.tier == AdmitTier::Calibrated) {
+            ++m.admitted_calibrated;
+            ++out.total.admitted_calibrated;
+        } else {
+            ++m.admitted_bound;
+            ++out.total.admitted_bound;
+        }
         countPrecision(m, r.precision);
         countPrecision(out.total, r.precision);
         const int64_t l = r.latencyNs();
@@ -170,6 +184,18 @@ computeMetrics(const ServeConfig &cfg, const ServeResult &result)
         w.bound_max_ns = q.bound_max;
         out.queue_waits.push_back(w);
     }
+
+    out.overload_active = cfg.overload.anyEnabled();
+    for (const QueueOverloadStats &qs : result.queue_overload) {
+        if (qs.fuse_tripped)
+            ++out.fuse_trips;
+        out.breaker_opens += qs.breaker_opens;
+        out.breaker_closes += qs.breaker_closes;
+    }
+    for (const BrownoutTransition &tr : result.brownout_transitions)
+        out.brownout_max_level =
+            std::max(out.brownout_max_level, tr.level);
+    out.brownout_transitions = result.brownout_transitions.size();
     return out;
 }
 
@@ -214,7 +240,7 @@ serveReport(const ServeMetrics &m)
 
     std::ostringstream oss;
     oss << t.str();
-    char buf[192];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "batches %llu (mean size %.2f), queue depth mean "
                   "%.2f max %lld, %.3f mJ/request\n",
@@ -222,6 +248,22 @@ serveReport(const ServeMetrics &m)
                   m.mean_queue_depth, (long long)m.max_queue_depth,
                   m.energy_per_request_mj);
     oss << buf;
+    if (m.overload_active) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "overload: admits calibrated %llu / bound %llu, shed "
+            "admission %llu brownout %llu, fuse trips %llu, breaker "
+            "opens %llu closes %llu, brownout max level %d\n",
+            (unsigned long long)m.total.admitted_calibrated,
+            (unsigned long long)m.total.admitted_bound,
+            (unsigned long long)m.total.shed_admission,
+            (unsigned long long)m.total.shed_brownout,
+            (unsigned long long)m.fuse_trips,
+            (unsigned long long)m.breaker_opens,
+            (unsigned long long)m.breaker_closes,
+            m.brownout_max_level);
+        oss << buf;
+    }
     return oss.str();
 }
 
@@ -234,8 +276,20 @@ serveJsonRecord(const std::string &section, const std::string &policy,
         << "\",\"offered_rps\":" << Table::fmt(m.total.offered_rps, 3)
         << ",\"goodput_rps\":" << Table::fmt(m.total.goodput_rps, 3)
         << ",\"offered\":" << m.total.offered
+        << ",\"completed\":" << m.total.completed
         << ",\"shed\":" << m.total.shed
+        << ",\"failed\":" << m.total.failed
         << ",\"violations\":" << m.total.violations
+        << ",\"admitted_calibrated\":" << m.total.admitted_calibrated
+        << ",\"admitted_bound\":" << m.total.admitted_bound
+        << ",\"shed_admission\":" << m.total.shed_admission
+        << ",\"shed_brownout\":" << m.total.shed_brownout
+        << ",\"fuse_trips\":" << m.fuse_trips
+        << ",\"breaker_opens\":" << m.breaker_opens
+        << ",\"breaker_closes\":" << m.breaker_closes
+        << ",\"brownout_max_level\":" << m.brownout_max_level
+        << ",\"tier_closed\":"
+        << (m.total.tierAccountingClosed() ? "true" : "false")
         << ",\"p50_ms\":" << ms(m.total.latency.p50)
         << ",\"p99_ms\":" << ms(m.total.latency.p99)
         << ",\"p999_ms\":" << ms(m.total.latency.p999)

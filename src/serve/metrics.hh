@@ -57,6 +57,14 @@ struct TenantMetrics
     uint64_t served_int4 = 0;
     uint64_t served_hfp8 = 0;
     uint64_t served_fp16 = 0;
+    /// Per-tier admission accounting (overload control): completed
+    /// requests split by the tier that admitted them, shed requests
+    /// split by reason. With overload off every admit lands in
+    /// admitted_bound and every shed in shed_admission.
+    uint64_t admitted_calibrated = 0;
+    uint64_t admitted_bound = 0;
+    uint64_t shed_admission = 0;
+    uint64_t shed_brownout = 0;
 
     /** offered == completed + shed + failed must hold after drain
      *  (failed is zero outside fleet serving). */
@@ -64,17 +72,26 @@ struct TenantMetrics
     {
         return offered == completed + shed + failed;
     }
+
+    /** The per-tier ledger must close too: every offered request is
+     *  admitted by exactly one tier, shed for exactly one reason, or
+     *  stranded by a chip failure. */
+    bool tierAccountingClosed() const
+    {
+        return offered == admitted_calibrated + admitted_bound +
+                              shed_admission + shed_brownout + failed &&
+               shed == shed_admission + shed_brownout;
+    }
 };
 
 /**
  * Observed queue-delay slice for one (network, precision) batching
  * queue: history-window mean/p95 of the waits completed requests
- * actually experienced, reported beside the router's proven
- * admission-time bound on the same requests. Observational only —
- * admission still uses the proven bound (ROADMAP item 5). Every
- * individual wait is covered by its own request's bound, so both
- * window stats are always <= bound_max_ns; the mean-vs-mean gap is
- * the headroom a calibrated router could reclaim.
+ * actually experienced, reported beside the router's admission-time
+ * prediction on the same requests. With the default bound-only router
+ * every individual wait is covered by its own request's bound, so
+ * both window stats are <= bound_max_ns; the mean-vs-mean gap is the
+ * headroom the calibrated tier (cfg.overload.admission) reclaims.
  */
 struct QueueWaitMetrics
 {
@@ -102,6 +119,16 @@ struct ServeMetrics
     /// (network name, precision); queues that completed no request
     /// are absent. Not rendered by serveReport/serveJsonRecord.
     std::vector<QueueWaitMetrics> queue_waits;
+    /// Overload-control aggregates (all zero when every feature is
+    /// off; overload_active mirrors cfg.overload.anyEnabled() and
+    /// gates the extra serveReport line so overload-off goldens are
+    /// byte-identical to the pre-overload renderer).
+    bool overload_active = false;
+    uint64_t fuse_trips = 0;    ///< queues whose trust fuse tripped
+    uint64_t breaker_opens = 0; ///< breaker open transitions
+    uint64_t breaker_closes = 0; ///< breaker re-close transitions
+    int brownout_max_level = 0; ///< deepest brownout rung reached
+    uint64_t brownout_transitions = 0;
 };
 
 /** Aggregate a raw simulation result. */

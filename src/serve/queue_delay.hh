@@ -11,10 +11,11 @@
  * a sliding history window, and exposes the window mean and p95 next
  * to the hard bound.
  *
- * Observational only in this PR: admission still uses the proven
- * bound. The calibrated-admission mode (routing against estimator
- * p95 with a safety margin, plus the violation accounting that
- * entails) is the remaining ROADMAP item 5 work.
+ * Two consumers: the metrics layer replays completed waits through it
+ * for the observational QueueWaitMetrics slice, and the calibrated
+ * admission tier (serve/overload.hh) feeds it online at launch time
+ * and routes against windowFill()/p95Ns() when the window is warm —
+ * the closing ROADMAP item 5 slice.
  */
 
 #ifndef RAPID_SERVE_QUEUE_DELAY_HH

@@ -55,6 +55,8 @@ validateServeConfig(const ServeConfig &cfg)
                         "tenant '", t.name, "': quality floor ",
                         precisionName(t.min_precision),
                         " is not a servable MPE precision");
+        RAPID_CHECK_ARG(t.priority >= 0, "tenant '", t.name,
+                        "': priority must be >= 0, got ", t.priority);
     }
     RAPID_CHECK_ARG(cfg.batcher.max_batch >= 1,
                     "batcher max_batch must be >= 1, got ",
@@ -71,6 +73,7 @@ validateServeConfig(const ServeConfig &cfg)
     RAPID_CHECK_ARG(cfg.horizon_ns > 0,
                     "horizon_ns must be positive, got ", cfg.horizon_ns);
     validateFaultConfig(cfg.fault);
+    validateOverloadConfig(cfg.overload);
 }
 
 std::vector<Precision>

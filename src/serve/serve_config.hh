@@ -20,6 +20,7 @@
 
 #include "common/fault.hh"
 #include "precision/precision.hh"
+#include "serve/overload.hh"
 
 namespace rapid {
 
@@ -49,6 +50,10 @@ struct TenantConfig
     /// Quality floor: the router never serves this tenant below this
     /// precision (INT4 accepts the full ladder, FP16 pins DLFloat16).
     Precision min_precision = Precision::INT4;
+    /// Brownout priority class (>= 0, higher = more important). The
+    /// brownout ladder's shedding rungs drop the lowest class first
+    /// and never shed the highest class present in the scenario.
+    int priority = 1;
 };
 
 /** Dynamic batcher knobs, shared by every (network, precision) queue. */
@@ -85,6 +90,11 @@ struct ServeConfig
     /// detected-uncorrected faults lengthen batch latencies through
     /// CycleBreakdown::retry and so surface in the serving tails.
     FaultConfig fault;
+    /// Overload control: calibrated admission tier, circuit breakers,
+    /// brownout ladder. Defaults off — a default OverloadConfig runs
+    /// bit-identical to the pre-overload scheduler, and runReference()
+    /// (the executable spec) covers only overload-off scenarios.
+    OverloadConfig overload;
 };
 
 /**

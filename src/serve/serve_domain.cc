@@ -13,13 +13,34 @@ namespace {
 
 constexpr int64_t kNever = std::numeric_limits<int64_t>::max();
 
+/** Ascending distinct tenant priorities with the top class removed:
+ *  the brownout shedding rungs, lowest class first. */
+std::vector<int>
+brownoutShedCutoffs(const ServeConfig &cfg)
+{
+    std::vector<int> prios;
+    for (const TenantConfig &t : cfg.tenants)
+        if (std::find(prios.begin(), prios.end(), t.priority) ==
+            prios.end())
+            prios.push_back(t.priority);
+    std::sort(prios.begin(), prios.end());
+    if (!prios.empty())
+        prios.pop_back(); // the highest class is never brownout-shed
+    return prios;
+}
+
 } // namespace
 
 ServeDomainCore::ServeDomainCore(const ServeSim &sim, DesDomain &dom)
     : sim_(sim), dom_(dom), cfg_(sim.config()), table_(&sim.table()),
       tenant_network_(sim.tenantNetwork()),
       max_batch_(cfg_.batcher.max_batch),
-      max_wait_(cfg_.batcher.max_wait_ns)
+      max_wait_(cfg_.batcher.max_wait_ns),
+      brownout_(sim.config().overload.brownout,
+                int(sim.config().ladder.size()) - 1 +
+                    int(brownoutShedCutoffs(sim.config()).size())),
+      brownout_precision_rungs_(int(sim.config().ladder.size()) - 1),
+      brownout_shed_cutoffs_(brownoutShedCutoffs(sim.config()))
 {
 }
 
@@ -51,6 +72,24 @@ ServeDomainCore::bootstrap()
         }
     }
     head_gen_.assign(queues_.size(), 0);
+
+    const OverloadConfig &ov = cfg_.overload;
+    if (ov.anyEnabled()) {
+        result_.queue_overload.resize(queues_.size());
+        for (size_t qi = 0; qi < queues_.size(); ++qi) {
+            result_.queue_overload[qi].network = queues_[qi].network;
+            result_.queue_overload[qi].precision =
+                queues_[qi].precision;
+        }
+    }
+    if (ov.admission.enabled) {
+        fuse_strikes_.assign(queues_.size(), 0);
+        wait_est_.reserve(queues_.size());
+        for (size_t qi = 0; qi < queues_.size(); ++qi)
+            wait_est_.emplace_back(ov.admission.window);
+    }
+    if (ov.breaker.enabled)
+        breakers_.assign(queues_.size(), CircuitBreaker(ov.breaker));
     bootstrapped_ = true;
 
     if (!arrivals_.empty())
@@ -67,6 +106,8 @@ ServeDomainCore::noteDepthChange(int64_t t, int64_t delta)
     total_depth_ += delta;
     result_.max_queue_depth =
         std::max(result_.max_queue_depth, total_depth_);
+    if (cfg_.overload.brownout.enabled)
+        brownout_.observe(t, total_depth_);
 }
 
 // Worst-case service time of one queue holding @p extra more
@@ -97,12 +138,21 @@ ServeDomainCore::backlogNs(int64_t t, size_t exclude) const
     return backlog;
 }
 
+bool
+ServeDomainCore::fuseTripped(size_t qi) const
+{
+    return !result_.queue_overload.empty() &&
+           result_.queue_overload[qi].fuse_tripped;
+}
+
 /**
  * The router ladder walk shared by trace and injected arrivals:
  * pick the cheapest precision at or above the tenant floor whose
- * conservatively predicted completion fits @p deadline_ns, queue the
- * request there, and return true. Returns false (caller sheds) when
- * no ladder entry fits.
+ * predicted completion fits @p deadline_ns, queue the request there,
+ * and return true. Returns false (caller sheds) when no ladder entry
+ * fits or a brownout shedding rung drops the tenant. The prediction
+ * comes from the calibrated tier when it is enabled, warm, and
+ * unfused for the queue, else from the proven worst-case bound.
  */
 bool
 ServeDomainCore::routeRequest(RequestRecord &rec, int64_t deadline_ns)
@@ -110,26 +160,89 @@ ServeDomainCore::routeRequest(RequestRecord &rec, int64_t deadline_ns)
     const TenantConfig &tenant = cfg_.tenants[rec.tenant];
     const size_t net = tenant_network_[rec.tenant];
     const int floor = servingQuality(tenant.min_precision);
+    const OverloadConfig &ov = cfg_.overload;
+
+    // Brownout: precision rungs cap the ladder from the expensive
+    // end; only the rungs past them shed, lowest priority class
+    // first. Precision always degrades before anyone sheds.
+    size_t cap = cfg_.ladder.size() - 1;
+    if (ov.brownout.enabled) {
+        const int level = brownout_.level(rec.arrival_ns);
+        const int shed_rung = level - brownout_precision_rungs_;
+        if (shed_rung > 0 &&
+            tenant.priority <=
+                brownout_shed_cutoffs_[size_t(shed_rung) - 1]) {
+            rec.shed_reason = ShedReason::Brownout;
+            return false;
+        }
+        cap -= size_t(std::min(level, brownout_precision_rungs_));
+        // The cap never overrides a tenant's quality floor: if every
+        // uncapped entry sits below the floor, the cap lifts for this
+        // tenant (brownout degrades quality, it never sheds via the
+        // precision rungs).
+        bool floor_under_cap = false;
+        for (size_t li = 0; li <= cap && !floor_under_cap; ++li)
+            floor_under_cap =
+                servingQuality(cfg_.ladder[li]) >= floor;
+        if (!floor_under_cap)
+            cap = cfg_.ladder.size() - 1;
+    }
+
     for (size_t li = 0; li < cfg_.ladder.size(); ++li) {
         const Precision p = cfg_.ladder[li];
         if (servingQuality(p) < floor)
             continue;
+        if (li > cap)
+            continue;
         const size_t qi = size_t(queue_of_[net][li]);
-        // With a single queue this is a hard upper bound on the
-        // request's latency: batches ahead of it run back to back
-        // (a full queue is ready immediately), and the executor
-        // idles at most once, for at most max_wait past the head's
-        // arrival, before the request's own partial batch expires.
-        const int64_t predicted =
-            backlogNs(rec.arrival_ns, qi) +
-            queueServiceNs(queues_[qi], +1) + max_wait_;
+        if (ov.breaker.enabled &&
+            !breakers_[qi].allowAdmit(rec.arrival_ns))
+            continue;
+        AdmitTier tier = AdmitTier::Bound;
+        int64_t predicted = 0;
+        if (ov.admission.enabled && !fuseTripped(qi) &&
+            wait_est_[qi].windowFill() >= ov.admission.min_samples) {
+            // Calibrated tier: the waits requests actually saw on
+            // this queue (p95 over the history window, scaled by the
+            // safety margin) plus this request's own max-batch
+            // execution. Far tighter than the worst-case bound under
+            // steady load; the trust fuse below guards the shortcut.
+            tier = AdmitTier::Calibrated;
+            predicted =
+                int64_t(double(wait_est_[qi].p95Ns()) *
+                        ov.admission.safety_margin) +
+                table_->latencyNs(queues_[qi].network,
+                                  queues_[qi].precision, max_batch_);
+        } else {
+            // With a single queue this is a hard upper bound on the
+            // request's latency: batches ahead of it run back to back
+            // (a full queue is ready immediately), and the executor
+            // idles at most once, for at most max_wait past the
+            // head's arrival, before the request's own partial batch
+            // expires.
+            predicted = backlogNs(rec.arrival_ns, qi) +
+                        queueServiceNs(queues_[qi], +1) + max_wait_;
+        }
         if (predicted <= deadline_ns) {
             rec.precision = p;
             rec.predicted_ns = predicted;
+            rec.tier = tier;
             Queue &q = queues_[qi];
             const bool was_empty = q.empty();
             q.pending.push_back(rec.id);
             noteDepthChange(rec.arrival_ns, +1);
+            if (!result_.queue_overload.empty()) {
+                QueueOverloadStats &qs = result_.queue_overload[qi];
+                if (tier == AdmitTier::Calibrated)
+                    ++qs.admitted_calibrated;
+                else
+                    ++qs.admitted_bound;
+            }
+            if (ov.breaker.enabled) {
+                rec.probe = breakers_[qi].onAdmit(rec.arrival_ns);
+                breakers_[qi].onDepth(rec.arrival_ns,
+                                      int64_t(q.depth()));
+            }
             // A previously empty queue gains a head: arm its
             // max_wait expiry.
             if (was_empty)
@@ -137,6 +250,7 @@ ServeDomainCore::routeRequest(RequestRecord &rec, int64_t deadline_ns)
             return true;
         }
     }
+    rec.shed_reason = ShedReason::Admission;
     return false;
 }
 
@@ -206,11 +320,25 @@ ServeDomainCore::launch(int qi, int64_t t)
     batch.energy_j = table_->energyJ(q.network, q.precision, size);
     batch.forced_by_timeout =
         size < max_batch_ && next_arrival_ < arrivals_.size();
+    // The calibrated tier and the breaker need per-request SLA
+    // outcomes at completion time; capture the launched ids only when
+    // one of them is on (the default path stays allocation-free).
+    const bool track_outcomes = cfg_.overload.admission.enabled ||
+                                cfg_.overload.breaker.enabled;
+    std::vector<uint64_t> launched;
+    if (track_outcomes)
+        launched.assign(q.pending.begin() + long(q.head),
+                        q.pending.begin() + long(q.head) +
+                            long(size));
     for (int64_t i = 0; i < size; ++i) {
         RequestRecord &rec =
             result_.requests[q.pending[q.head + size_t(i)]];
         rec.launch_ns = t;
         rec.completion_ns = batch.completion_ns;
+        // Feed the queue's wait estimator at launch: the wait is
+        // known here, and future admissions may use it immediately.
+        if (cfg_.overload.admission.enabled)
+            wait_est_[size_t(qi)].record(t - rec.arrival_ns);
     }
     q.head += size_t(size);
     if (q.empty()) {
@@ -225,8 +353,54 @@ ServeDomainCore::launch(int qi, int64_t t)
     ++head_gen_[size_t(qi)];
     if (!q.empty())
         scheduleHeadTimeout(size_t(qi));
-    dom_.schedule(batch.completion_ns, kPriCompletion,
-                  [this] { tryLaunch(dom_.now()); });
+    if (track_outcomes) {
+        const size_t uqi = size_t(qi);
+        dom_.schedule(batch.completion_ns, kPriCompletion,
+                      [this, uqi, ids = std::move(launched)] {
+                          onBatchOutcome(uqi, ids);
+                          tryLaunch(dom_.now());
+                      });
+    } else {
+        dom_.schedule(batch.completion_ns, kPriCompletion,
+                      [this] { tryLaunch(dom_.now()); });
+    }
+}
+
+/**
+ * SLA outcomes of a completed batch: strike the queue's trust fuse on
+ * a calibrated-admitted violation and feed the circuit breaker. Runs
+ * in the completion lane, before the freed executor launches again.
+ */
+void
+ServeDomainCore::onBatchOutcome(size_t qi,
+                                const std::vector<uint64_t> &ids)
+{
+    if (dead_)
+        return; // halt() already filed these requests as failed
+    const int64_t now = dom_.now();
+    const OverloadConfig &ov = cfg_.overload;
+    QueueOverloadStats &qs = result_.queue_overload[qi];
+    for (uint64_t id : ids) {
+        const RequestRecord &rec = result_.requests[id];
+        const bool violation =
+            rec.latencyNs() > cfg_.tenants[rec.tenant].deadline_ns;
+        if (ov.admission.enabled && ov.admission.fuse_enabled &&
+            violation && rec.tier == AdmitTier::Calibrated &&
+            !qs.fuse_tripped &&
+            ++fuse_strikes_[qi] >= ov.admission.fuse_violations) {
+            // Trust fuse: a calibrated admit missed its SLA, so the
+            // estimator can no longer be trusted on this queue; latch
+            // back to the proven bound for the rest of the run.
+            qs.fuse_tripped = true;
+            qs.fuse_trip_ns = now;
+        }
+        if (ov.breaker.enabled)
+            breakers_[qi].onOutcome(now, violation, rec.probe);
+    }
+    if (ov.breaker.enabled) {
+        qs.breaker_opens = breakers_[qi].opens();
+        qs.breaker_closes = breakers_[qi].closes();
+    }
 }
 
 /** The executor may act: launch the ready queue with the oldest
@@ -385,8 +559,25 @@ ServeDomainCore::setTable(const LatencyTable *table)
 ServeResult
 ServeDomainCore::finish()
 {
+    // Final overload snapshots: breaker counters (an open with no
+    // completion after it has not been synced yet) and the brownout
+    // trace settled through the end of the run.
+    auto closeOverload = [this](int64_t end) {
+        if (cfg_.overload.breaker.enabled)
+            for (size_t qi = 0; qi < breakers_.size(); ++qi) {
+                result_.queue_overload[qi].breaker_opens =
+                    breakers_[qi].opens();
+                result_.queue_overload[qi].breaker_closes =
+                    breakers_[qi].closes();
+            }
+        if (cfg_.overload.brownout.enabled) {
+            brownout_.level(end);
+            result_.brownout_transitions = brownout_.transitions();
+        }
+    };
     if (dead_) {
         result_.end_ns = halt_ns_;
+        closeOverload(halt_ns_);
         return std::move(result_);
     }
     int64_t end = std::max<int64_t>(busy_until_, 0);
@@ -394,6 +585,7 @@ ServeDomainCore::finish()
         end = std::max(end, arrivals_.back().time_ns);
     result_.end_ns = end;
     noteDepthChange(end, 0); // close the depth integral
+    closeOverload(end);
     return std::move(result_);
 }
 

@@ -35,6 +35,19 @@
  *  - setTable(): switch the latency table mid-run (a degraded-mode
  *    transition to a chip with dead cores / MPE rows). Only batches
  *    launched after the switch see the new table.
+ *
+ * Overload control (cfg.overload, see serve/overload.hh; everything
+ * defaults off and the default path is bit-identical to the
+ * pre-overload scheduler): the router may admit on the calibrated
+ * tier (observed p95 wait x margin) once a queue's estimator window
+ * is warm, guarded by a per-queue trust fuse that latches back to the
+ * proven bound on the first calibrated SLA miss; per-queue circuit
+ * breakers skip ladder entries whose queue is open; and the brownout
+ * ladder first caps the precision ladder from the expensive end, then
+ * sheds tenants from the lowest priority class upward. Estimators are
+ * fed at launch (wait = launch - arrival), SLA outcomes are evaluated
+ * at the batch-completion event — both on the domain clock, so the
+ * whole subsystem replays deterministically at any --threads N.
  */
 
 #ifndef RAPID_SERVE_SERVE_DOMAIN_HH
@@ -44,6 +57,8 @@
 #include <vector>
 
 #include "common/des.hh"
+#include "serve/overload.hh"
+#include "serve/queue_delay.hh"
 #include "serve/server_sim.hh"
 
 namespace rapid {
@@ -156,6 +171,8 @@ class ServeDomainCore
     void tryLaunch(int64_t t);
     void onArrival();
     void onTimeout(size_t qi, uint64_t gen);
+    void onBatchOutcome(size_t qi, const std::vector<uint64_t> &ids);
+    bool fuseTripped(size_t qi) const;
 
     const ServeSim &sim_;
     DesDomain &dom_;
@@ -180,6 +197,18 @@ class ServeDomainCore
     bool dead_ = false;
     int64_t halt_ns_ = 0;
     ServeResult result_;
+
+    // Overload control (all empty/inert when cfg.overload has no
+    // feature enabled, so the default path stays bit-identical to
+    // runReference and allocation-free).
+    std::vector<QueueDelayEstimator> wait_est_; ///< per queue
+    std::vector<int64_t> fuse_strikes_;         ///< per queue
+    std::vector<CircuitBreaker> breakers_;      ///< per queue
+    BrownoutController brownout_;
+    int brownout_precision_rungs_ = 0;
+    /// Ascending distinct tenant priorities minus the top class: the
+    /// k-th shedding rung drops tenants with priority <= cutoffs[k-1].
+    std::vector<int> brownout_shed_cutoffs_;
 };
 
 } // namespace rapid

@@ -115,6 +115,12 @@ runServeBatch(const std::vector<const ServeSim *> &sims)
 ServeResult
 ServeSim::runReference() const
 {
+    // The reference loop is the executable specification of the
+    // overload-off semantics; the overload features (calibrated tier,
+    // breakers, brownout) exist only in the event-driven engine.
+    RAPID_CHECK_ARG(!cfg_.overload.anyEnabled(),
+                    "runReference models the overload-off scheduler "
+                    "only; disable cfg.overload to compare");
     const std::vector<Arrival> arrivals = generateArrivals(cfg_);
     const int64_t max_batch = cfg_.batcher.max_batch;
     const int64_t max_wait = cfg_.batcher.max_wait_ns;
@@ -202,6 +208,7 @@ ServeSim::runReference() const
             if (predicted <= tenant.deadline_ns) {
                 rec.precision = p;
                 rec.predicted_ns = predicted;
+                rec.tier = AdmitTier::Bound;
                 Queue &q = queues[qi];
                 q.pending.push_back(a.id);
                 noteDepthChange(a.time_ns, +1);
@@ -209,6 +216,7 @@ ServeSim::runReference() const
             }
         }
         rec.shed = true; // no ladder entry can meet the deadline
+        rec.shed_reason = ShedReason::Admission;
     };
 
     // A queue is ready when full or its head has waited max_wait.

@@ -60,7 +60,14 @@ struct RequestRecord
     int64_t arrival_ns = 0;
     int64_t launch_ns = -1;     ///< batch launch, -1 when shed
     int64_t completion_ns = -1; ///< batch completion, -1 when shed
-    int64_t predicted_ns = -1;  ///< router's admission-time bound
+    int64_t predicted_ns = -1;  ///< router's admission-time prediction
+    /// Admission tier that accepted the request: always Bound unless
+    /// the calibrated tier is enabled and trusted at admission time.
+    AdmitTier tier = AdmitTier::Bound;
+    /// Why the request was shed (None while admitted).
+    ShedReason shed_reason = ShedReason::None;
+    /// Admitted as a half-open circuit-breaker probe (breaker only).
+    bool probe = false;
     bool shed = false;
     /// True when the hosting chip failed before completion (fleet
     /// serving only; single-chip runs never set it). A failed request
@@ -106,6 +113,11 @@ struct ServeResult
     /// time-weighted mean queue depth.
     double queue_depth_integral = 0;
     int64_t max_queue_depth = 0;
+    /// Per-queue overload-control outcome, indexed by queue id; empty
+    /// when no overload feature is enabled.
+    std::vector<QueueOverloadStats> queue_overload;
+    /// Brownout level changes in time order (empty when off).
+    std::vector<BrownoutTransition> brownout_transitions;
 };
 
 /** The simulator: builds the latency table once, then runs traces. */

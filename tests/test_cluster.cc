@@ -326,6 +326,113 @@ TEST_F(ClusterTest, SeededFailurePlanIsDeterministic)
 }
 
 // ---------------------------------------------------------------------
+// Retry budgets and the failure-strike window
+// ---------------------------------------------------------------------
+
+TEST_F(ClusterTest, RetryBudgetConvertsStormIntoAccountedSheds)
+{
+    // Two of four chips die 30 ms apart: every stranded request
+    // retries onto the survivors at once. The per-target token bucket
+    // must cap that storm, convert the excess into shed_budget (not
+    // silent loss), and keep the global ledger closed.
+    auto scenario = [](bool budget_on) {
+        ClusterConfig cfg;
+        cfg.num_chips = 4;
+        cfg.policy = FleetPolicy::FailoverRestore;
+        cfg.serve.horizon_ns = 400 * kMs;
+        for (int ti = 0; ti < 8; ++ti) {
+            TenantConfig t;
+            t.name = "tenant" + std::to_string(ti);
+            t.network = ti % 2 == 0 ? "resnet50" : "mobilenetv1";
+            t.arrival_rps = 500.0;
+            t.deadline_ns = 15 * kMs;
+            cfg.serve.tenants.push_back(t);
+        }
+        cfg.serve.batcher.max_batch = 8;
+        cfg.serve.batcher.max_wait_ns = 2 * kMs;
+        cfg.failures.scripted = {{1, 120 * kMs, false},
+                                 {2, 150 * kMs, false}};
+        cfg.failover.budget.enabled = budget_on;
+        cfg.failover.budget.tokens_per_s = 120.0;
+        cfg.failover.budget.burst = 16.0;
+        return cfg;
+    };
+    const ClusterConfig storm_cfg = scenario(false);
+    const ClusterConfig budget_cfg = scenario(true);
+    const FleetLedger storm = buildFleetLedger(
+        storm_cfg, FleetSim(makeInferenceChip(), storm_cfg).run());
+    const FleetLedger budget = buildFleetLedger(
+        budget_cfg, FleetSim(makeInferenceChip(), budget_cfg).run());
+
+    // Unbudgeted: a real storm, nothing denied.
+    ASSERT_GT(storm.retries, 0u);
+    EXPECT_EQ(storm.retries_denied, 0u);
+    EXPECT_EQ(storm.shed_budget, 0u);
+    EXPECT_TRUE(storm.closed());
+
+    // Budgeted: strictly fewer deliveries, every denial accounted.
+    EXPECT_LT(budget.retries, storm.retries);
+    EXPECT_GT(budget.retries_denied, 0u);
+    EXPECT_GT(budget.shed_budget, 0u);
+    EXPECT_LE(budget.shed_budget, budget.retries_denied);
+    EXPECT_TRUE(budget.closed());
+    // The budget trades deliveries for sheds, never for write-offs.
+    EXPECT_LE(budget.failed, storm.failed);
+}
+
+TEST_F(ClusterTest, StrikeWindowConfinesSeededFailurePlan)
+{
+    // Every seeded strike must land inside the configured fraction of
+    // the horizon, so detection and drain always have room.
+    ClusterConfig cfg = smallFleet(3);
+    cfg.failures.rate = 1.0;
+    cfg.failures.strike_window_lo = 0.4;
+    cfg.failures.strike_window_hi = 0.6;
+    const std::vector<PlannedFailure> plan = buildFailurePlan(cfg);
+    ASSERT_EQ(plan.size(), cfg.num_chips);
+    for (const PlannedFailure &f : plan) {
+        EXPECT_GE(f.time_ns,
+                  int64_t(0.4 * double(cfg.serve.horizon_ns)));
+        EXPECT_LE(f.time_ns,
+                  int64_t(0.6 * double(cfg.serve.horizon_ns)));
+    }
+}
+
+TEST_F(ClusterTest, RejectsBadRetryBudgetAndStrikeWindow)
+{
+    const auto reject = [](auto mutate) {
+        ClusterConfig cfg = smallFleet(3);
+        mutate(cfg);
+        EXPECT_THROW(validateClusterConfig(cfg), Error);
+    };
+    reject([](ClusterConfig &c) { c.failover.retry_backoff_ns = -1; });
+    reject([](ClusterConfig &c) {
+        c.failover.budget.enabled = true;
+        c.failover.budget.tokens_per_s = 0.0;
+    });
+    reject([](ClusterConfig &c) {
+        c.failover.budget.enabled = true;
+        c.failover.budget.tokens_per_s = -10.0;
+    });
+    reject([](ClusterConfig &c) {
+        // A bucket that can never hold one token can never retry.
+        c.failover.budget.enabled = true;
+        c.failover.budget.burst = 0.5;
+    });
+    reject([](ClusterConfig &c) { c.failures.strike_window_lo = -0.1; });
+    reject([](ClusterConfig &c) { c.failures.strike_window_hi = 1.1; });
+    reject([](ClusterConfig &c) {
+        c.failures.strike_window_lo = 0.6;
+        c.failures.strike_window_hi = 0.6;
+    });
+    // Disabled budget knobs are inert: the same bad values pass.
+    ClusterConfig cfg = smallFleet(3);
+    cfg.failover.budget.enabled = false;
+    cfg.failover.budget.tokens_per_s = 0.0;
+    EXPECT_NO_THROW(validateClusterConfig(cfg));
+}
+
+// ---------------------------------------------------------------------
 // Training failover
 // ---------------------------------------------------------------------
 

@@ -271,6 +271,123 @@ TEST_F(LlmTest, LadderRoutesLongContextsToPackedKv)
 }
 
 // ---------------------------------------------------------------------
+// Calibrated TPOT admission: tier recovery, trust fuse, closed ledger
+// ---------------------------------------------------------------------
+
+TEST_F(LlmTest, CalibratedTpotTierRecoversFullBatchBoundOverShed)
+{
+    // The bench's llm_tpot scenario: a wide decode batch makes the
+    // proven bound price every candidate at a max_batch step over its
+    // *final* context, KV spill included, while the running batch
+    // rarely fills. The calibrated tier must recover most of that
+    // over-shed without a single TPOT violation, and the per-tier
+    // request ledger must close on both runs.
+    auto scenario = [](bool calibrated) {
+        LlmServeConfig cfg;
+        cfg.model = "llm-small";
+        cfg.policy = BatchPolicy::Continuous;
+        cfg.max_batch = 32;
+        cfg.horizon_ns = 500 * kMs;
+        LlmTenantConfig chat;
+        chat.name = "chat";
+        chat.arrival_rps = 180.0;
+        chat.mean_prompt_tokens = 256.0;
+        chat.mean_output_tokens = 192.0;
+        chat.ttft_deadline_ns = 400 * kMs;
+        chat.tpot_deadline_ns = 500'000;
+        cfg.tenants.push_back(chat);
+        cfg.admission.enabled = calibrated;
+        cfg.admission.min_samples = 8;
+        cfg.admission.window = 64;
+        cfg.admission.safety_margin = 1.25;
+        return cfg;
+    };
+    const LlmServeConfig bound = scenario(false);
+    const LlmServeConfig cal = scenario(true);
+    const ChipConfig chip = makeInferenceChip();
+    const LlmMetrics mb =
+        computeLlmMetrics(bound, LlmSim(chip, bound).run());
+    const LlmMetrics mc = computeLlmMetrics(cal, LlmSim(chip, cal).run());
+
+    ASSERT_GT(mb.total.shed, 0u); // the bound's pessimism is real
+    EXPECT_LT(2 * mc.total.shed, mb.total.shed); // >= 50% recovered
+    EXPECT_EQ(mc.total.tpot_violations, 0u); // at zero SLA cost
+    EXPECT_GT(mc.total.admitted_calibrated, 0u);
+    EXPECT_GT(mc.total.tokens_per_s, mb.total.tokens_per_s);
+    EXPECT_EQ(mb.total.admitted_calibrated, 0u);
+    for (const LlmMetrics *m : {&mb, &mc}) {
+        EXPECT_TRUE(m->total.requestAccountingClosed());
+        EXPECT_TRUE(m->total.tierAccountingClosed());
+        EXPECT_TRUE(m->total.tokenAccountingClosed());
+    }
+}
+
+TEST_F(LlmTest, TpotTrustFuseLatchesGroupBackToBound)
+{
+    // A TPOT deadline trap: a short-prompt tenant keeps the shared
+    // window full of comfortable TPOTs, a long-context tenant rides
+    // the calibrated shortcut past a deadline its spill-heavy decode
+    // cannot actually meet. The fuse must latch the ladder group back
+    // to the proven bound after the strike; without the fuse the
+    // shortcut keeps admitting on the polluted window.
+    auto trap = [](bool fuse_on) {
+        LlmServeConfig cfg;
+        cfg.model = "llm-micro";
+        cfg.policy = BatchPolicy::Continuous;
+        cfg.max_batch = 4;
+        cfg.horizon_ns = 300 * kMs;
+        LlmTenantConfig shortT;
+        shortT.name = "short";
+        shortT.arrival_rps = 400.0;
+        shortT.mean_prompt_tokens = 16.0;
+        shortT.mean_output_tokens = 8.0;
+        shortT.ttft_deadline_ns = 100 * kMs;
+        shortT.tpot_deadline_ns = 30 * kMs;
+        cfg.tenants.push_back(shortT);
+        LlmTenantConfig longT;
+        longT.name = "long";
+        longT.arrival_rps = 60.0;
+        longT.mean_prompt_tokens = 1200.0;
+        longT.mean_output_tokens = 64.0;
+        longT.ttft_deadline_ns = 100 * kMs;
+        longT.tpot_deadline_ns = 20'000; // the trap: bound says no
+        cfg.tenants.push_back(longT);
+        cfg.admission.enabled = true;
+        cfg.admission.min_samples = 4;
+        cfg.admission.window = 32;
+        cfg.admission.safety_margin = 1.0;
+        cfg.admission.fuse_enabled = fuse_on;
+        return cfg;
+    };
+    const LlmServeConfig nofuse = trap(false);
+    const LlmServeConfig fused = trap(true);
+    const ChipConfig chip = makeInferenceChip();
+    const LlmResult rn = LlmSim(chip, nofuse).run();
+    const LlmResult rf = LlmSim(chip, fused).run();
+    const LlmMetrics mn = computeLlmMetrics(nofuse, rn);
+    const LlmMetrics mf = computeLlmMetrics(fused, rf);
+
+    EXPECT_EQ(mn.fuse_trips, 0u); // disabled fuse never latches
+    ASSERT_GE(mf.fuse_trips, 1u);
+    // The latch is visible in the tier split: after the trip the
+    // group admits on the bound, so strictly fewer calibrated admits.
+    EXPECT_LT(mf.total.admitted_calibrated,
+              mn.total.admitted_calibrated);
+    EXPECT_LE(mf.total.tpot_violations, mn.total.tpot_violations);
+    EXPECT_TRUE(mn.total.tierAccountingClosed());
+    EXPECT_TRUE(mf.total.tierAccountingClosed());
+
+    // The per-group stats name the tripped group and stamp the trip.
+    bool tripped = false;
+    for (const LlmGroupAdmission &g : rf.group_admission)
+        if (g.fuse_tripped) {
+            tripped = true;
+            EXPECT_GE(g.fuse_trip_ns, 0);
+        }
+    EXPECT_TRUE(tripped);
+}
+
+// ---------------------------------------------------------------------
 // Config validation: negative paths
 // ---------------------------------------------------------------------
 
@@ -313,6 +430,11 @@ TEST_F(LlmTest, ValidationRejectsBadConfigs)
         c.tenants[0].burst_mean = 0.5;
     });
     reject([](LlmServeConfig &c) { c.fault.rate = -0.5; });
+    // The calibrated TPOT tier shares the serve-side knob contract.
+    reject([](LlmServeConfig &c) { c.admission.window = 0; });
+    reject([](LlmServeConfig &c) { c.admission.min_samples = 0; });
+    reject([](LlmServeConfig &c) { c.admission.safety_margin = 0.9; });
+    reject([](LlmServeConfig &c) { c.admission.fuse_violations = 0; });
 
     // The simulator constructor runs the same validation.
     LlmServeConfig bad = microConfig(10.0);

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <memory>
 
@@ -413,6 +414,57 @@ TEST_F(ServeTest, QueueDelayEstimatorConvergesOnStationaryWorkload)
     EXPECT_LE(est.p95Ns(), 1100);
 }
 
+TEST_F(ServeTest, QueueDelayEstimatorSingleSampleAndWrapAround)
+{
+    // One sample: both window stats collapse to it (and zero waits
+    // are legal observations).
+    QueueDelayEstimator one(4);
+    one.record(0);
+    EXPECT_EQ(one.windowFill(), 1u);
+    EXPECT_EQ(one.meanNs(), 0);
+    EXPECT_EQ(one.p95Ns(), 0);
+    one.record(500);
+    EXPECT_EQ(one.meanNs(), 250);
+    EXPECT_EQ(one.p95Ns(), 500);
+
+    // Ring wrap-around: the fifth record into a window of four must
+    // evict exactly the oldest observation, not the newest.
+    QueueDelayEstimator est(4);
+    for (int64_t v : {10, 20, 30, 40})
+        est.record(v);
+    EXPECT_EQ(est.windowFill(), 4u);
+    EXPECT_EQ(est.meanNs(), 25);
+    est.record(50); // window now {20, 30, 40, 50}
+    EXPECT_EQ(est.windowFill(), 4u);
+    EXPECT_EQ(est.count(), 5u);
+    EXPECT_EQ(est.meanNs(), 35);
+    EXPECT_EQ(est.p95Ns(), 50);
+    est.record(60); // window now {30, 40, 50, 60}
+    EXPECT_EQ(est.meanNs(), 45);
+    EXPECT_EQ(est.p95Ns(), 60);
+}
+
+TEST_F(ServeTest, QueueDelayEstimatorPercentileIsOrderInvariant)
+{
+    // The window p95 is a property of the multiset, not of insertion
+    // order: ascending, descending, and interleaved feeds of the same
+    // 100 values must agree (nearest rank 95 -> 950).
+    QueueDelayEstimator asc(128), desc(128), mixed(128);
+    for (int64_t v = 1; v <= 100; ++v)
+        asc.record(v * 10);
+    for (int64_t v = 100; v >= 1; --v)
+        desc.record(v * 10);
+    for (int64_t v = 1; v <= 50; ++v) {
+        mixed.record(v * 10);
+        mixed.record((101 - v) * 10);
+    }
+    EXPECT_EQ(asc.p95Ns(), 950);
+    EXPECT_EQ(desc.p95Ns(), asc.p95Ns());
+    EXPECT_EQ(mixed.p95Ns(), asc.p95Ns());
+    EXPECT_EQ(desc.meanNs(), asc.meanNs());
+    EXPECT_EQ(mixed.meanNs(), asc.meanNs());
+}
+
 TEST_F(ServeTest, ObservedQueueWaitsSitUnderProvenBound)
 {
     const ServeConfig cfg = singleTenantConfig(1500.0);
@@ -431,6 +483,382 @@ TEST_F(ServeTest, ObservedQueueWaitsSitUnderProvenBound)
         EXPECT_GE(w.bound_mean_ns, 0);
     }
     EXPECT_EQ(samples, m.total.completed);
+}
+
+// ---------------------------------------------------------------------
+// Overload control: calibrated tier, trust fuse, brownout, breaker
+// ---------------------------------------------------------------------
+
+/** Mini version of the bench's multi-tenant knee mix: the web load is
+ *  split three ways on purpose so the proven bound's whole-chip
+ *  backlog charge over-sheds while each queue's actual wait stays
+ *  low. */
+ServeConfig
+overloadMixConfig(double scale, int64_t horizon_ns = 400 * kMs)
+{
+    ServeConfig cfg;
+    for (const char *name : {"web-a", "web-b", "web-c"}) {
+        TenantConfig web;
+        web.name = name;
+        web.network = "resnet50";
+        web.arrival_rps = 800.0 * scale / 3.0;
+        web.deadline_ns = 20 * kMs;
+        web.priority = 2;
+        cfg.tenants.push_back(web);
+    }
+    TenantConfig nlp;
+    nlp.name = "nlp-premium";
+    nlp.network = "bert";
+    nlp.arrival_rps = 40.0 * scale;
+    nlp.deadline_ns = 60 * kMs;
+    nlp.min_precision = Precision::HFP8;
+    nlp.priority = 2;
+    cfg.tenants.push_back(nlp);
+    TenantConfig bg;
+    bg.name = "background";
+    bg.network = "mobilenetv1";
+    bg.arrival_rps = 1500.0 * scale;
+    bg.pattern = ArrivalPattern::Bursty;
+    bg.burst_mean = 16.0;
+    bg.deadline_ns = 20 * kMs;
+    bg.priority = 0;
+    cfg.tenants.push_back(bg);
+    cfg.batcher.max_batch = 8;
+    cfg.batcher.max_wait_ns = 2 * kMs;
+    cfg.horizon_ns = horizon_ns;
+    return cfg;
+}
+
+TEST_F(ServeTest, CalibratedTierRecoversBoundOverShedAtTheKnee)
+{
+    // Past the knee the proven bound sheds requests whose observed
+    // wait would have fit; the calibrated tier must recover at least
+    // half of that over-shed without adding a single SLA violation,
+    // and the per-tier ledger must close on both runs.
+    const ServeConfig bound = overloadMixConfig(1.6);
+    ServeConfig cal = overloadMixConfig(1.6);
+    cal.overload.admission.enabled = true;
+    cal.overload.admission.safety_margin = 1.25;
+    cal.overload.admission.window = 512;
+
+    const ChipConfig chip = makeInferenceChip();
+    const ServeMetrics mb =
+        computeMetrics(bound, ServeSim(chip, bound).run());
+    const ServeMetrics mc = computeMetrics(cal, ServeSim(chip, cal).run());
+
+    ASSERT_GT(mb.total.shed, 0u); // the pessimism is real
+    EXPECT_LT(2 * mc.total.shed, mb.total.shed); // >= 50% recovered
+    EXPECT_LE(mc.total.violations, mb.total.violations);
+    EXPECT_GT(mc.total.admitted_calibrated, 0u);
+    EXPECT_GT(mc.total.goodput_rps, mb.total.goodput_rps);
+
+    // Bound-only run: every admit is a bound admit, ledger closed.
+    EXPECT_EQ(mb.total.admitted_calibrated, 0u);
+    for (const ServeMetrics *m : {&mb, &mc}) {
+        EXPECT_TRUE(m->total.tierAccountingClosed());
+        for (const TenantMetrics &tm : m->tenants)
+            EXPECT_TRUE(tm.tierAccountingClosed()) << tm.name;
+    }
+}
+
+TEST_F(ServeTest, TrustFuseLatchesPollutedQueueBackToBound)
+{
+    // The fuse trap from the bench: a calm loose-deadline tenant
+    // keeps the shared window full of small waits, a strict tenant
+    // arrives in rare large bursts that blow through its deadline on
+    // the stale p95. Without the fuse the trap re-arms every episode;
+    // with it the first calibrated violation latches the queue back
+    // to the proven bound.
+    auto trap = [](bool fuse_on) {
+        ServeConfig cfg;
+        TenantConfig calm;
+        calm.name = "calm";
+        calm.network = "resnet50";
+        calm.arrival_rps = 800.0;
+        calm.deadline_ns = 100 * kMs;
+        cfg.tenants.push_back(calm);
+        TenantConfig spiky;
+        spiky.name = "spiky";
+        spiky.network = "resnet50";
+        spiky.arrival_rps = 160.0;
+        spiky.pattern = ArrivalPattern::Bursty;
+        spiky.burst_mean = 64.0;
+        spiky.deadline_ns = 8 * kMs;
+        cfg.tenants.push_back(spiky);
+        cfg.ladder = {Precision::INT4}; // one queue: one shared fuse
+        cfg.batcher.max_batch = 8;
+        cfg.batcher.max_wait_ns = 2 * kMs;
+        cfg.overload.admission.enabled = true;
+        cfg.overload.admission.min_samples = 32;
+        cfg.overload.admission.window = 64;
+        cfg.overload.admission.safety_margin = 1.2;
+        cfg.overload.admission.fuse_enabled = fuse_on;
+        return cfg;
+    };
+    const ServeConfig nofuse = trap(false);
+    const ServeConfig fused = trap(true);
+    const ChipConfig chip = makeInferenceChip();
+    const ServeResult rn = ServeSim(chip, nofuse).run();
+    const ServeResult rf = ServeSim(chip, fused).run();
+    const ServeMetrics mn = computeMetrics(nofuse, rn);
+    const ServeMetrics mf = computeMetrics(fused, rf);
+
+    EXPECT_EQ(mn.fuse_trips, 0u); // disabled fuse never latches
+    ASSERT_GE(mf.fuse_trips, 1u);
+    EXPECT_LT(mf.total.violations, mn.total.violations);
+    EXPECT_TRUE(mn.total.tierAccountingClosed());
+    EXPECT_TRUE(mf.total.tierAccountingClosed());
+
+    // The per-queue stats name the tripped queue and stamp the trip.
+    bool tripped = false;
+    for (const QueueOverloadStats &q : rf.queue_overload)
+        if (q.fuse_tripped) {
+            tripped = true;
+            EXPECT_GE(q.fuse_trip_ns, 0);
+        }
+    EXPECT_TRUE(tripped);
+}
+
+TEST_F(ServeTest, BrownoutDegradesPrecisionBeforeSheddingByPriority)
+{
+    // Sustained 2x overload: the ladder must walk one level at a
+    // time, spend its precision rungs first, and only then shed —
+    // lowest priority class first, never the premium class.
+    // The full 1 s horizon: sustained pressure needs time to dwell
+    // through the escalation rungs.
+    ServeConfig cfg = overloadMixConfig(2.0, 1000 * kMs);
+    cfg.overload.brownout.enabled = true;
+    cfg.overload.brownout.depth_high = 48;
+    cfg.overload.brownout.depth_low = 8;
+    cfg.overload.brownout.escalate_ns = 10 * kMs;
+    cfg.overload.brownout.recover_ns = 40 * kMs;
+    const ServeResult r = ServeSim(makeInferenceChip(), cfg).run();
+    const ServeMetrics m = computeMetrics(cfg, r);
+
+    EXPECT_GT(m.brownout_transitions, 0u);
+    // With a 3-rung ladder, levels 1-2 cap precision and shedding
+    // starts at level 3: any brownout shed proves the ladder walked
+    // through every precision rung first.
+    const int precision_rungs = int(cfg.ladder.size()) - 1;
+    ASSERT_GT(m.brownout_max_level, precision_rungs);
+    uint64_t background_shed = 0;
+    for (const TenantMetrics &tm : m.tenants) {
+        if (tm.name == "background") {
+            background_shed = tm.shed_brownout;
+        } else {
+            // priority-2 tenants are never brownout-shed here: the
+            // shedding rungs drop the lowest class first and the
+            // ladder never reaches the top class.
+            EXPECT_EQ(tm.shed_brownout, 0u) << tm.name;
+        }
+        EXPECT_TRUE(tm.tierAccountingClosed()) << tm.name;
+    }
+    EXPECT_GT(background_shed, 0u);
+
+    // The transition trace is a walk: one level at a time, stamped in
+    // non-decreasing virtual time.
+    int prev_level = 0;
+    int64_t prev_t = 0;
+    for (const BrownoutTransition &tr : r.brownout_transitions) {
+        EXPECT_EQ(std::abs(tr.level - prev_level), 1);
+        EXPECT_GE(tr.time_ns, prev_t);
+        prev_level = tr.level;
+        prev_t = tr.time_ns;
+    }
+    EXPECT_EQ(m.brownout_transitions, r.brownout_transitions.size());
+}
+
+TEST_F(ServeTest, CircuitBreakerStateMachine)
+{
+    BreakerConfig bc;
+    bc.enabled = true;
+    bc.depth_open = 4;
+    bc.violations_open = 2;
+    bc.open_ns = 100;
+    bc.probe_count = 2;
+    CircuitBreaker br(bc);
+
+    // Closed admits; depth at the threshold opens.
+    EXPECT_EQ(br.state(), BreakerState::Closed);
+    EXPECT_TRUE(br.allowAdmit(0));
+    EXPECT_FALSE(br.onAdmit(0)); // not a probe while closed
+    br.onDepth(10, 3);
+    EXPECT_EQ(br.state(), BreakerState::Closed);
+    br.onDepth(10, 4);
+    EXPECT_EQ(br.state(), BreakerState::Open);
+    EXPECT_EQ(br.opens(), 1u);
+
+    // Open fast-fails until the cooldown elapses, then probes.
+    EXPECT_FALSE(br.allowAdmit(50));
+    EXPECT_TRUE(br.allowAdmit(110));
+    EXPECT_EQ(br.state(), BreakerState::HalfOpen);
+    EXPECT_TRUE(br.onAdmit(110)); // first probe
+    EXPECT_TRUE(br.allowAdmit(111));
+    EXPECT_TRUE(br.onAdmit(111)); // second probe
+    EXPECT_FALSE(br.allowAdmit(112)); // probe quota spent
+    br.onOutcome(120, false, true);
+    EXPECT_EQ(br.state(), BreakerState::HalfOpen);
+    br.onOutcome(121, false, true); // both probes in SLA -> re-close
+    EXPECT_EQ(br.state(), BreakerState::Closed);
+    EXPECT_EQ(br.closes(), 1u);
+
+    // Consecutive closed-state violations open it again...
+    br.onOutcome(130, true, false);
+    br.onOutcome(131, false, false); // success resets the streak
+    br.onOutcome(132, true, false);
+    EXPECT_EQ(br.state(), BreakerState::Closed);
+    br.onOutcome(133, true, false);
+    EXPECT_EQ(br.state(), BreakerState::Open);
+    EXPECT_EQ(br.opens(), 2u);
+
+    // ...and a violating probe slams it back open with a fresh
+    // cooldown instead of re-closing.
+    EXPECT_TRUE(br.allowAdmit(233));
+    EXPECT_TRUE(br.onAdmit(233));
+    br.onOutcome(240, true, true);
+    EXPECT_EQ(br.state(), BreakerState::Open);
+    EXPECT_EQ(br.opens(), 3u);
+    EXPECT_FALSE(br.allowAdmit(300)); // cooldown restarted at 240
+
+    // Disabled breaker is transparent.
+    CircuitBreaker off(BreakerConfig{});
+    off.onDepth(0, 1'000'000);
+    EXPECT_TRUE(off.allowAdmit(0));
+    EXPECT_EQ(off.state(), BreakerState::Closed);
+}
+
+TEST_F(ServeTest, BreakerProtectsSteadyNeighborFromFlappingTenant)
+{
+    // A flapping bursty tenant piles its queue deep; the proven bound
+    // charges that backlog to everyone, so the steady neighbor sheds
+    // for congestion it did not cause. The breaker must make the
+    // flapping tenant pay instead.
+    auto scenario = [](bool breaker_on) {
+        ServeConfig cfg;
+        TenantConfig flap;
+        flap.name = "flappy";
+        flap.network = "resnet50";
+        flap.arrival_rps = 2400.0;
+        flap.pattern = ArrivalPattern::Bursty;
+        flap.burst_mean = 64.0;
+        flap.deadline_ns = 40 * kMs;
+        cfg.tenants.push_back(flap);
+        TenantConfig steady;
+        steady.name = "steady";
+        steady.network = "mobilenetv1";
+        steady.arrival_rps = 600.0;
+        steady.deadline_ns = 10 * kMs;
+        cfg.tenants.push_back(steady);
+        cfg.ladder = {Precision::INT4};
+        cfg.batcher.max_batch = 8;
+        cfg.batcher.max_wait_ns = 2 * kMs;
+        cfg.overload.breaker.enabled = breaker_on;
+        cfg.overload.breaker.depth_open = 32;
+        cfg.overload.breaker.violations_open = 4;
+        cfg.overload.breaker.open_ns = 30 * kMs;
+        cfg.overload.breaker.probe_count = 4;
+        return cfg;
+    };
+    const ServeConfig off = scenario(false);
+    const ServeConfig on = scenario(true);
+    const ChipConfig chip = makeInferenceChip();
+    const ServeMetrics mo = computeMetrics(off, ServeSim(chip, off).run());
+    const ServeMetrics mb = computeMetrics(on, ServeSim(chip, on).run());
+
+    EXPECT_EQ(mo.breaker_opens, 0u);
+    EXPECT_GT(mb.breaker_opens, 0u);
+    EXPECT_GT(mb.breaker_closes, 0u); // probes re-closed it
+    ASSERT_EQ(mo.tenants.size(), 2u);
+    ASSERT_EQ(mb.tenants.size(), 2u);
+    const TenantMetrics &steady_off = mo.tenants[1];
+    const TenantMetrics &steady_on = mb.tenants[1];
+    ASSERT_EQ(steady_on.name, "steady");
+    ASSERT_GT(steady_off.shed, 0u); // the collateral damage is real
+    EXPECT_LT(2 * steady_on.shed, steady_off.shed);
+    EXPECT_GT(steady_on.goodput_rps, steady_off.goodput_rps);
+    EXPECT_TRUE(mb.total.tierAccountingClosed());
+}
+
+TEST_F(ServeTest, OverloadRunIsBitIdenticalAcrossThreadCounts)
+{
+    // Every overload feature on at once must preserve the core
+    // determinism contract: bit-identical requests, tiers, and shed
+    // reasons at any thread count, including the rendered report.
+    ServeConfig cfg = overloadMixConfig(1.8);
+    cfg.overload.admission.enabled = true;
+    cfg.overload.admission.safety_margin = 1.25;
+    cfg.overload.breaker.enabled = true;
+    cfg.overload.breaker.depth_open = 32;
+    cfg.overload.brownout.enabled = true;
+    cfg.overload.brownout.depth_high = 48;
+    cfg.overload.brownout.depth_low = 8;
+    cfg.overload.brownout.escalate_ns = 10 * kMs;
+
+    ThreadPool::setDefaultThreads(1);
+    const ServeResult serial = ServeSim(makeInferenceChip(), cfg).run();
+    ThreadPool::setDefaultThreads(8);
+    const ServeResult wide = ServeSim(makeInferenceChip(), cfg).run();
+
+    ASSERT_EQ(serial.requests.size(), wide.requests.size());
+    for (size_t i = 0; i < serial.requests.size(); ++i) {
+        EXPECT_EQ(serial.requests[i].launch_ns,
+                  wide.requests[i].launch_ns);
+        EXPECT_EQ(serial.requests[i].completion_ns,
+                  wide.requests[i].completion_ns);
+        EXPECT_EQ(serial.requests[i].shed, wide.requests[i].shed);
+        EXPECT_EQ(serial.requests[i].tier, wide.requests[i].tier);
+        EXPECT_EQ(serial.requests[i].shed_reason,
+                  wide.requests[i].shed_reason);
+    }
+    ASSERT_EQ(serial.brownout_transitions.size(),
+              wide.brownout_transitions.size());
+    for (size_t i = 0; i < serial.brownout_transitions.size(); ++i) {
+        EXPECT_EQ(serial.brownout_transitions[i].time_ns,
+                  wide.brownout_transitions[i].time_ns);
+        EXPECT_EQ(serial.brownout_transitions[i].level,
+                  wide.brownout_transitions[i].level);
+    }
+    const ServeMetrics ms = computeMetrics(cfg, serial);
+    const ServeMetrics mw = computeMetrics(cfg, wide);
+    EXPECT_EQ(serveReport(ms), serveReport(mw));
+}
+
+TEST_F(ServeTest, RunReferenceRejectsOverloadScenarios)
+{
+    // runReference is the executable spec of the *overload-off*
+    // scheduler; silently ignoring overload knobs would fake an
+    // equivalence the engine does not claim.
+    ServeConfig cfg = singleTenantConfig(1000.0);
+    cfg.overload.admission.enabled = true;
+    const ServeSim sim(makeInferenceChip(), cfg);
+    EXPECT_NO_THROW(sim.run());
+    EXPECT_THROW(sim.runReference(), Error);
+}
+
+TEST_F(ServeTest, RejectsBadOverloadKnobs)
+{
+    const auto reject = [](auto mutate) {
+        ServeConfig cfg = singleTenantConfig(1000.0);
+        mutate(cfg.overload);
+        EXPECT_THROW(validateServeConfig(cfg), Error);
+    };
+    reject([](OverloadConfig &o) { o.admission.window = 0; });
+    reject([](OverloadConfig &o) { o.admission.min_samples = 0; });
+    reject([](OverloadConfig &o) {
+        o.admission.min_samples = o.admission.window + 1;
+    });
+    reject([](OverloadConfig &o) { o.admission.safety_margin = 0.5; });
+    reject([](OverloadConfig &o) { o.admission.fuse_violations = 0; });
+    reject([](OverloadConfig &o) { o.breaker.depth_open = 0; });
+    reject([](OverloadConfig &o) { o.breaker.violations_open = 0; });
+    reject([](OverloadConfig &o) { o.breaker.open_ns = 0; });
+    reject([](OverloadConfig &o) { o.breaker.probe_count = 0; });
+    reject([](OverloadConfig &o) { o.brownout.depth_low = -1; });
+    reject([](OverloadConfig &o) {
+        o.brownout.depth_high = o.brownout.depth_low;
+    });
+    reject([](OverloadConfig &o) { o.brownout.escalate_ns = 0; });
+    reject([](OverloadConfig &o) { o.brownout.recover_ns = 0; });
 }
 
 // ---------------------------------------------------------------------
